@@ -1,0 +1,226 @@
+package deeppower
+
+// One benchmark per table and figure of the paper's evaluation (§5). Each
+// bench regenerates its artifact at a reduced (benchmark-friendly) scale and
+// reports domain metrics via b.ReportMetric; `cmd/repro` runs the same
+// harnesses at full scale and writes the rendered tables to results/.
+
+import (
+	"testing"
+
+	"github.com/deeppower/deeppower/internal/app"
+	"github.com/deeppower/deeppower/internal/exp"
+	"github.com/deeppower/deeppower/internal/sim"
+)
+
+func benchScale() exp.Scale {
+	s := exp.Quick()
+	s.TrainEpisodes = 6
+	return s
+}
+
+// BenchmarkFig1ServiceTimeCDF regenerates the normalized service-time CDFs
+// (Fig. 1) and reports Moses' tail/mean skew.
+func BenchmarkFig1ServiceTimeCDF(b *testing.B) {
+	scale := benchScale()
+	var skew float64
+	for i := 0; i < b.N; i++ {
+		r := exp.Fig1(scale)
+		skew = r.TailOverMean[app.Moses]
+	}
+	b.ReportMetric(skew, "moses-tail/mean")
+}
+
+// BenchmarkFig2RelativeRMSE regenerates the cross-load prediction-error
+// heatmap (Fig. 2) for Masstree and reports the worst off-diagonal cell.
+func BenchmarkFig2RelativeRMSE(b *testing.B) {
+	scale := benchScale()
+	scale.Samples = 1500
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Fig2(app.Masstree, scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = r.MaxOffDiagonal()
+	}
+	b.ReportMetric(worst, "max-rel-rmse")
+}
+
+// BenchmarkTable2Inference regenerates the DRL inference-time table.
+func BenchmarkTable2Inference(b *testing.B) {
+	var r *exp.Table2Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = exp.Table2(500)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.InferenceUS["DDPG"], "ddpg-us")
+	b.ReportMetric(r.InferenceUS["SAC"], "sac-us")
+}
+
+// BenchmarkTable3TailLatency regenerates the load/latency calibration table
+// and reports Xapian's p99 at 70% load.
+func BenchmarkTable3TailLatency(b *testing.B) {
+	scale := benchScale()
+	scale.Workers = 0 // paper worker counts
+	var p99 float64
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Table3(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p99 = r.P99ms[app.Xapian][2]
+	}
+	b.ReportMetric(p99, "xapian-70%-p99-ms")
+}
+
+// BenchmarkFig4ControllerTrace regenerates the 2 s thread-controller
+// frequency trace under a trained agent.
+func BenchmarkFig4ControllerTrace(b *testing.B) {
+	scale := benchScale()
+	scale.TrainEpisodes = 2
+	var samples int
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Fig4(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		samples = len(r.Trace.Times)
+	}
+	b.ReportMetric(float64(samples), "trace-samples")
+}
+
+// BenchmarkFig5ScaleFunc regenerates the reward scaling curve.
+func BenchmarkFig5ScaleFunc(b *testing.B) {
+	var pts int
+	for i := 0; i < b.N; i++ {
+		pts = len(exp.Fig5(100).X)
+	}
+	b.ReportMetric(float64(pts), "points")
+}
+
+// BenchmarkFig6WorkloadTrace regenerates the diurnal trace.
+func BenchmarkFig6WorkloadTrace(b *testing.B) {
+	scale := benchScale()
+	var peak float64
+	for i := 0; i < b.N; i++ {
+		peak = exp.Fig6(scale).Trace.MaxRate()
+	}
+	b.ReportMetric(peak, "peak-rps")
+}
+
+// BenchmarkFig7PowerComparison regenerates the headline comparison on
+// Xapian (baseline / ReTail / Gemini / DeepPower) and reports DeepPower's
+// power saving versus the baseline.
+func BenchmarkFig7PowerComparison(b *testing.B) {
+	scale := benchScale()
+	var saving float64
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Fig7(scale, []string{app.Xapian})
+		if err != nil {
+			b.Fatal(err)
+		}
+		saving = r.Saving(app.Xapian, exp.MethodDeepPower)
+	}
+	b.ReportMetric(saving*100, "dp-saving-%")
+}
+
+// BenchmarkFig8TimeSeries regenerates DeepPower's time-resolved run.
+func BenchmarkFig8TimeSeries(b *testing.B) {
+	scale := benchScale()
+	scale.TrainEpisodes = 2
+	var rows int
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Fig8(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = len(r.Rows)
+	}
+	b.ReportMetric(float64(rows), "series-rows")
+}
+
+// BenchmarkFig9FreqTraceXapian regenerates the millisecond-level frequency
+// trace for Xapian under DeepPower and reports its change granularity.
+func BenchmarkFig9FreqTraceXapian(b *testing.B) {
+	scale := benchScale()
+	scale.TrainEpisodes = 8
+	var changes int
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Fig9(exp.MethodDeepPower, scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		changes = r.Trace.Changes()
+	}
+	b.ReportMetric(float64(changes), "freq-changes")
+}
+
+// BenchmarkFig10FreqTraceSphinx does the same for the second-scale app.
+func BenchmarkFig10FreqTraceSphinx(b *testing.B) {
+	scale := benchScale()
+	scale.TrainEpisodes = 8
+	var changes int
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Fig10(exp.MethodDeepPower, scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		changes = r.Trace.Changes()
+	}
+	b.ReportMetric(float64(changes), "freq-changes")
+}
+
+// BenchmarkFig11FixedParams regenerates the fixed-parameter frequency
+// heatmaps and reports the idle-floor spread between settings.
+func BenchmarkFig11FixedParams(b *testing.B) {
+	scale := benchScale()
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Fig11(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		spread = r.Traces[2].MinFreq() - r.Traces[0].MinFreq()
+	}
+	b.ReportMetric(spread, "floor-spread-ghz")
+}
+
+// BenchmarkOverheadTrainStep regenerates the §5.5 overhead table's training
+// row: one DDPG update at batch 64.
+func BenchmarkOverheadTrainStep(b *testing.B) {
+	r, err := exp.Overhead()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(r.TrainStepMS, "train-step-ms")
+	b.ReportMetric(r.ActionGenUS, "action-us")
+	b.ReportMetric(float64(r.ActorParams), "actor-params")
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator speed: virtual
+// seconds of a loaded 8-core server per wall second.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	prof := app.MustByName(app.Xapian)
+	prof.Workers = 8
+	rate := 0.7 * prof.MaxCapacity(prof.RefFreq, 1)
+	for i := 0; i < b.N; i++ {
+		res, err := Run(Config{
+			App:     app.Xapian,
+			Workers: 8,
+			Method:  MethodBaseline,
+			// One diurnal period.
+			Duration:    10 * sim.Second,
+			TracePeriod: 10 * sim.Second,
+			PeakLoad:    0.7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+	_ = rate
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/deeppower/deeppower/internal/exp"
+)
+
+func TestWriterCreatesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	w := &writer{dir: dir}
+	tbl := &exp.Table{Title: "t", Columns: []string{"a"}}
+	tbl.AddRow("1")
+	if err := w.table("demo", tbl); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.csv("demo", "a\n1\n"); err != nil {
+		t.Fatal(err)
+	}
+	txt, err := os.ReadFile(filepath.Join(dir, "demo.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(txt), "1") {
+		t.Error("table artifact missing content")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "demo.csv")); err != nil {
+		t.Error("csv artifact missing")
+	}
+}
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	// Every table and figure of the paper must have a harness entry.
+	want := []string{
+		"table1", "fig1", "fig2", "table2", "table3",
+		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+		"overhead",
+		// Extensions.
+		"ablation", "generalization", "crossover", "colocation",
+	}
+	have := map[string]bool{}
+	for _, e := range experiments() {
+		have[e.name] = true
+		if e.run == nil {
+			t.Errorf("experiment %s has no runner", e.name)
+		}
+	}
+	for _, name := range want {
+		if !have[name] {
+			t.Errorf("missing experiment %q", name)
+		}
+	}
+	if len(have) != len(want) {
+		t.Errorf("registry has %d entries, want %d", len(have), len(want))
+	}
+}
+
+func TestCheapExperimentsRun(t *testing.T) {
+	// The sampling-only experiments must run end-to-end at a tiny scale.
+	dir := t.TempDir()
+	w := &writer{dir: dir}
+	scale := exp.Quick()
+	scale.Samples = 2000
+	for _, name := range []string{"fig1", "fig5", "fig6", "table1"} {
+		for _, e := range experiments() {
+			if e.name != name {
+				continue
+			}
+			if err := e.run(scale, w); err != nil {
+				t.Errorf("%s: %v", name, err)
+			}
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 4 {
+		t.Errorf("only %d artifacts written", len(entries))
+	}
+}

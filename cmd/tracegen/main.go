@@ -1,0 +1,63 @@
+// Command tracegen emits request-rate traces as CSV — the synthetic diurnal
+// e-commerce workload of Fig. 6, or a constant rate — for plotting or for
+// driving external load generators.
+//
+// Usage:
+//
+//	tracegen                        # 360 s diurnal trace to stdout
+//	tracegen -period 60 -peak 5000 -seed 7 -o trace.csv
+//	tracegen -constant 1000 -period 60
+package main
+
+import (
+	"flag"
+	"io"
+	"log"
+	"os"
+
+	"github.com/deeppower/deeppower/internal/sim"
+	"github.com/deeppower/deeppower/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+	var (
+		period   = flag.Float64("period", 360, "trace period, seconds")
+		peak     = flag.Float64("peak", 400, "peak requests/second")
+		base     = flag.Float64("base", 100, "trough requests/second (diurnal only)")
+		constant = flag.Float64("constant", 0, "emit a constant-rate trace at this RPS instead")
+		seed     = flag.Int64("seed", 1, "random seed")
+		outPath  = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var trace *workload.Trace
+	if *constant > 0 {
+		trace = workload.Constant(*constant, sim.Seconds(*period))
+	} else {
+		cfg := workload.DefaultDiurnal()
+		cfg.Period = sim.Seconds(*period)
+		cfg.Buckets = int(*period)
+		if cfg.Buckets < 10 {
+			cfg.Buckets = 10
+		}
+		cfg.BaseRPS = *base
+		cfg.PeakRPS = *peak
+		cfg.Seed = *seed
+		trace = workload.Diurnal(cfg)
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := trace.WriteCSV(out); err != nil {
+		log.Fatal(err)
+	}
+}

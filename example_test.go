@@ -1,0 +1,75 @@
+package deeppower_test
+
+import (
+	"fmt"
+
+	"github.com/deeppower/deeppower"
+)
+
+// Evaluate the no-power-management baseline on a small Xapian setup.
+func ExampleRun() {
+	res, err := deeppower.Run(deeppower.Config{
+		App:         deeppower.Xapian,
+		Method:      deeppower.MethodBaseline,
+		Workers:     2,
+		Duration:    10 * deeppower.Second,
+		TracePeriod: 10 * deeppower.Second,
+		PeakLoad:    0.3,
+		Seed:        1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Method, res.SLAMet)
+	// Output: baseline true
+}
+
+// Pin every core at a fixed frequency with the "fixed:<ghz>" method.
+func ExampleRun_fixedFrequency() {
+	res, err := deeppower.Run(deeppower.Config{
+		App:         deeppower.Masstree,
+		Method:      "fixed:1.5",
+		Workers:     2,
+		Duration:    5 * deeppower.Second,
+		TracePeriod: 5 * deeppower.Second,
+		PeakLoad:    0.2,
+		Seed:        1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.1f GHz\n", res.AvgFreqGHz)
+	// Output: 1.5 GHz
+}
+
+// Run the paper's thread controller (Algorithm 1) with fixed parameters.
+func ExampleNewThreadController() {
+	pol, err := deeppower.NewThreadController(deeppower.Params{
+		BaseFreq:    0.5,
+		ScalingCoef: 0.8,
+	})
+	if err != nil {
+		panic(err)
+	}
+	res, err := deeppower.Run(deeppower.Config{
+		App:         deeppower.Xapian,
+		Workers:     2,
+		Duration:    5 * deeppower.Second,
+		TracePeriod: 5 * deeppower.Second,
+		PeakLoad:    0.3,
+		Seed:        1,
+		Policy:      pol,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Requests > 0)
+	// Output: true
+}
+
+// Synthesize the paper's diurnal workload trace (Fig. 6).
+func ExampleDiurnalTrace() {
+	trace := deeppower.DiurnalTrace(60*deeppower.Second, 1000, 1)
+	fmt.Printf("peak %.0f rps over %v\n", trace.MaxRate(), trace.Period)
+	// Output: peak 1000 rps over 60s
+}

@@ -1,0 +1,55 @@
+// Compare reproduces one application's slice of the paper's Fig. 7: the
+// no-management baseline, ReTail, Gemini, and DeepPower evaluated under an
+// identical diurnal workload, reporting power, tail latency, and timeouts.
+//
+// Run with:
+//
+//	go run ./examples/compare            # xapian
+//	go run ./examples/compare moses      # any Tailbench app name
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/deeppower/deeppower"
+)
+
+func main() {
+	log.SetFlags(0)
+	appName := deeppower.Xapian
+	if len(os.Args) > 1 {
+		appName = os.Args[1]
+	}
+
+	cfg := deeppower.Config{
+		App:           appName,
+		Workers:       4,
+		TrainEpisodes: 8,
+		Duration:      40 * deeppower.Second,
+		TracePeriod:   20 * deeppower.Second,
+		Seed:          1,
+	}
+
+	fmt.Printf("comparing methods on %s (profiling + training included)...\n\n", appName)
+	results, err := deeppower.Compare(cfg, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base := results[deeppower.MethodBaseline]
+	fmt.Printf("%-10s %9s %8s %12s %12s %9s %7s\n",
+		"method", "power(W)", "saving", "mean", "p99", "timeout%", "SLA")
+	for _, m := range []string{
+		deeppower.MethodBaseline, deeppower.MethodRetail,
+		deeppower.MethodGemini, deeppower.MethodDeepPower,
+	} {
+		r := results[m]
+		saving := 1 - r.AvgPowerW/base.AvgPowerW
+		fmt.Printf("%-10s %9.2f %7.1f%% %12v %12v %9.3f %7v\n",
+			m, r.AvgPowerW, saving*100, r.MeanLatency, r.P99Latency,
+			r.TimeoutRate*100, r.SLAMet)
+	}
+	fmt.Printf("\nSLA for %s: %v\n", appName, base.SLA)
+}

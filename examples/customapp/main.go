@@ -1,0 +1,123 @@
+// Customapp shows how to manage a latency-critical application that is NOT
+// in the built-in Tailbench suite: define a service-time profile, build the
+// simulation directly, and plug in any policy — here the bare thread
+// controller (Algorithm 1) with hand-picked parameters, and then a custom
+// queue-aware policy written from scratch.
+//
+// Run with:
+//
+//	go run ./examples/customapp
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/deeppower/deeppower"
+	"github.com/deeppower/deeppower/internal/app"
+)
+
+// newAdService models a hypothetical ad-ranking service: ~3 ms requests
+// whose cost scales with candidate-set size, 10 ms SLA, light tail.
+func newAdService() *deeppower.Profile {
+	return &deeppower.Profile{
+		Name:           "ad-ranker",
+		SLA:            10 * deeppower.Millisecond,
+		Workers:        6,
+		RefFreq:        2.1,
+		MemFrac:        0.2,
+		ContentionCoef: 0.2,
+		Sampler: &app.TailedSampler{
+			BaseUS:     800,
+			CoefUS:     1800,
+			Sigma1:     0.5,
+			Inter:      0.3,
+			TypeMuls:   []float64{1},
+			TypeProbs:  []float64{1},
+			NoiseSigma: 0.1,
+			TailProb:   0.01,
+			TailScale:  4000,
+			TailAlpha:  2.5,
+		},
+	}
+}
+
+// greedyPolicy is a minimal custom policy: queue empty → floor frequency,
+// queue backed up → turbo. It shows the Policy surface end to end.
+type greedyPolicy struct {
+	ctl deeppower.Control
+}
+
+func (p *greedyPolicy) Name() string                 { return "greedy" }
+func (p *greedyPolicy) Init(c deeppower.Control)     { p.ctl = c }
+func (p *greedyPolicy) OnArrival(*deeppower.Request) {}
+func (p *greedyPolicy) OnDispatch(r *deeppower.Request, core int) {
+	p.ctl.SetFreq(core, p.ctl.Ladder().Max)
+}
+func (p *greedyPolicy) OnComplete(r *deeppower.Request, core int) {
+	if p.ctl.CoreRequest(core) == nil {
+		p.ctl.SetFreq(core, p.ctl.Ladder().Min)
+	}
+}
+func (p *greedyPolicy) OnTick(now deeppower.Time) {
+	if p.ctl.QueueLen() > p.ctl.NumCores() {
+		for i := 0; i < p.ctl.NumCores(); i++ {
+			p.ctl.SetTurbo(i)
+		}
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	prof := newAdService()
+	if err := prof.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Offered load: a diurnal day compressed to 30 s, peaking at 60% of
+	// the app's capacity at the reference frequency.
+	peak := 0.6 * prof.MaxCapacity(prof.RefFreq, 1)
+	trace := deeppower.DiurnalTrace(30*deeppower.Second, peak, 1)
+
+	run := func(pol deeppower.Policy) *deeppower.ServerResult {
+		eng := deeppower.NewEngine()
+		srv, err := deeppower.NewServer(eng, deeppower.ServerConfig{
+			App:  prof,
+			Seed: 42,
+		}, pol)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := srv.Run(trace, 60*deeppower.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	fmt.Println("custom application:", prof.Name,
+		"| SLA", prof.SLA, "| mean service", prof.MeanService(1, 20000))
+
+	// Two fixed thread-controller settings (Algorithm 1), then the custom
+	// queue-aware policy.
+	for _, pol := range []deeppower.Policy{
+		mustController(0.5, 1.0),
+		mustController(0.9, 0.3),
+		&greedyPolicy{},
+	} {
+		res := run(pol)
+		fmt.Printf("%-22s power=%6.2fW p99=%8.3fms timeout=%6.3f%% met=%v\n",
+			res.Policy, res.AvgPowerW, res.Latency.P99*1000,
+			res.TimeoutRate*100, res.SLAMet)
+	}
+}
+
+func mustController(base, coef float64) deeppower.Policy {
+	pol, err := deeppower.NewThreadController(deeppower.Params{
+		BaseFreq: base, ScalingCoef: coef,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return pol
+}

@@ -1,0 +1,50 @@
+// Quickstart: train a DeepPower policy on the Xapian search workload and
+// evaluate it against the no-power-management baseline.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/deeppower/deeppower"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Small-scale configuration so the example finishes in seconds.
+	// Drop Workers/Duration overrides for a paper-scale run.
+	cfg := deeppower.Config{
+		App:           deeppower.Xapian,
+		Workers:       4,
+		TrainEpisodes: 12,
+		Duration:      40 * deeppower.Second,
+		TracePeriod:   20 * deeppower.Second,
+		PeakLoad:      0.7,
+		Seed:          1,
+	}
+
+	fmt.Println("evaluating baseline (all cores at turbo)...")
+	cfg.Method = deeppower.MethodBaseline
+	base, err := deeppower.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(" ", base)
+
+	fmt.Println("training + evaluating DeepPower (hierarchical DRL control)...")
+	cfg.Method = deeppower.MethodDeepPower
+	dp, err := deeppower.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(" ", dp)
+
+	saving := 1 - dp.AvgPowerW/base.AvgPowerW
+	fmt.Printf("\nDeepPower saves %.1f%% power vs the baseline (p99 %v vs SLA %v)\n",
+		saving*100, dp.P99Latency, dp.SLA)
+}

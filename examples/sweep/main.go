@@ -1,0 +1,60 @@
+// Sweep reproduces a Table 3-style load/latency characterization: for one
+// application, it sweeps offered load from 10% to 90% of capacity and prints
+// the latency distribution at each level, under a chosen fixed frequency.
+//
+// Run with:
+//
+//	go run ./examples/sweep              # xapian at 2.1 GHz
+//	go run ./examples/sweep masstree 1.5
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"github.com/deeppower/deeppower"
+)
+
+func main() {
+	log.SetFlags(0)
+	appName := deeppower.Xapian
+	ghz := 2.1
+	if len(os.Args) > 1 {
+		appName = os.Args[1]
+	}
+	if len(os.Args) > 2 {
+		v, err := strconv.ParseFloat(os.Args[2], 64)
+		if err != nil {
+			log.Fatalf("bad frequency %q: %v", os.Args[2], err)
+		}
+		ghz = v
+	}
+
+	prof, err := deeppower.AppByName(appName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("load sweep: %s at %.2g GHz (SLA %v, %d workers)\n\n",
+		appName, ghz, prof.SLA, prof.Workers)
+	fmt.Printf("%6s %10s %12s %12s %12s %10s\n",
+		"load", "power(W)", "mean", "p99", "max", "timeout%")
+
+	for load := 0.1; load < 0.95; load += 0.1 {
+		res, err := deeppower.Run(deeppower.Config{
+			App:         appName,
+			Method:      fmt.Sprintf("fixed:%g", ghz),
+			Duration:    30 * deeppower.Second,
+			TracePeriod: 30 * deeppower.Second,
+			PeakLoad:    load,
+			Seed:        1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%5.0f%% %10.2f %12v %12v %12v %10.3f\n",
+			load*100, res.AvgPowerW, res.MeanLatency, res.P99Latency,
+			deeppower.Time(res.Raw.Latency.Max*1e9), res.TimeoutRate*100)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/deeppower/deeppower
+
+go 1.22

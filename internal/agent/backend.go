@@ -1,0 +1,48 @@
+package agent
+
+import (
+	"io"
+
+	"github.com/deeppower/deeppower/internal/rl"
+)
+
+// Backend abstracts the continuous-action learner driving DeepPower: the
+// paper's DDPG (default) or the TD3 ablation.
+type Backend interface {
+	// Act returns the deterministic action for a state.
+	Act(state []float64) []float64
+	// ActNoisy adds exploration noise (Algorithm 2 line 5).
+	ActNoisy(state []float64, noise rl.Noise) []float64
+	// Update runs one gradient step and returns (critic, actor) losses.
+	Update(batch []rl.Transition) (criticLoss, actorLoss float64)
+	// SavePolicy and LoadPolicy persist the actor.
+	SavePolicy(w io.Writer) error
+	LoadPolicy(r io.Reader) error
+	// NumParams reports the actor's parameter count.
+	NumParams() int
+}
+
+// ddpgBackend is *rl.DDPG verbatim — its method set already matches.
+var _ Backend = (*rl.DDPG)(nil)
+
+// td3Backend adapts TD3's twin-critic losses onto the Backend surface.
+type td3Backend struct {
+	*rl.TD3
+}
+
+// Update implements Backend: the reported critic loss is the twin mean.
+func (b td3Backend) Update(batch []rl.Transition) (float64, float64) {
+	c1, c2, a := b.TD3.Update(batch)
+	return (c1 + c2) / 2, a
+}
+
+var _ Backend = td3Backend{}
+
+// BackendName selects the learner in Config.
+type BackendName string
+
+// Supported backends.
+const (
+	BackendDDPG BackendName = "ddpg" // the paper's algorithm (default)
+	BackendTD3  BackendName = "td3"  // twin-delayed DDPG ablation
+)

@@ -1,0 +1,298 @@
+package agent
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/deeppower/deeppower/internal/control"
+	"github.com/deeppower/deeppower/internal/rl"
+	"github.com/deeppower/deeppower/internal/server"
+	"github.com/deeppower/deeppower/internal/sim"
+)
+
+// ActionDim is the actor's output width: (BaseFreq, ScalingCoef).
+const ActionDim = 2
+
+// Config parameterizes the DeepPower policy.
+type Config struct {
+	// LongTime is the DRL agent's step interval (default 1 s, §4.6). The
+	// controller's ShortTime is the server tick.
+	LongTime sim.Time
+	// Reward weights.
+	Reward RewardConfig
+	// Backend selects the learner: BackendDDPG (default, the paper's
+	// algorithm) or BackendTD3.
+	Backend BackendName
+	// DDPG hyper-parameters; state/action dims are fixed by the paper.
+	// (For the TD3 backend, the analogous fields are mapped across.)
+	DDPG rl.DDPGConfig
+	// NoiseMu and NoiseSigma parameterize exploration noise N(µ,δ); the
+	// paper defaults to (0.3, 1) — the positive mean avoids early queue
+	// congestion (§4.6).
+	NoiseMu, NoiseSigma float64
+	// NoiseDecay anneals exploration per agent step (default 0.999).
+	NoiseDecay float64
+	// WarmupSteps selects random actions before learning starts
+	// (Algorithm 2 line 7; default 20).
+	WarmupSteps int
+	// BatchSize is the replay minibatch (default 64, §5.5).
+	BatchSize int
+	// UpdatesPerStep is how many gradient updates run per agent step
+	// (default 1, as in Algorithm 2; quick-scale experiments raise it to
+	// compensate for fewer steps).
+	UpdatesPerStep int
+	// ReplayCap bounds the experience pool (default 100000).
+	ReplayCap int
+	// Train enables exploration and network updates. Off = pure inference
+	// with the current actor.
+	Train bool
+	// Flat disables the hierarchical mechanism: instead of parameterizing
+	// the thread controller, the agent's first action component directly
+	// sets one uniform frequency score for every core, once per LongTime.
+	// This is the ablation showing why the hierarchy matters.
+	Flat bool
+	// InitialParams seeds the thread controller before the first action.
+	InitialParams control.Params
+	// RecordLog retains per-step actions and rewards (Fig. 8).
+	RecordLog bool
+	// Seed drives exploration and initialization.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.LongTime == 0 {
+		c.LongTime = sim.Second
+	}
+	if c.NoiseMu == 0 && c.NoiseSigma == 0 {
+		c.NoiseMu, c.NoiseSigma = 0.3, 1.0
+	}
+	if c.NoiseDecay == 0 {
+		c.NoiseDecay = 0.999
+	}
+	if c.WarmupSteps == 0 {
+		c.WarmupSteps = 20
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 64
+	}
+	if c.UpdatesPerStep == 0 {
+		c.UpdatesPerStep = 1
+	}
+	if c.ReplayCap == 0 {
+		c.ReplayCap = 100000
+	}
+	if c.InitialParams == (control.Params{}) {
+		c.InitialParams = control.Params{BaseFreq: 0.6, ScalingCoef: 0.6}
+	}
+	if c.Backend == "" {
+		c.Backend = BackendDDPG
+	}
+	c.DDPG.StateDim = StateDim
+	c.DDPG.ActionDim = ActionDim
+	if c.DDPG.Seed == 0 {
+		c.DDPG.Seed = c.Seed
+	}
+	return c
+}
+
+// LogPoint is one agent step's record (for Fig. 8's parameter curves).
+type LogPoint struct {
+	At     sim.Time
+	Params control.Params
+	Reward Breakdown
+	State  []float64
+}
+
+// DeepPower is the full framework of Fig. 3 wired as a server.Policy: the
+// thread controller runs every tick; once per LongTime the DRL agent
+// observes, rewards, learns, and emits new controller parameters.
+type DeepPower struct {
+	server.BasePolicy
+	cfg Config
+
+	tc       *control.ThreadController
+	agent    Backend
+	replay   *rl.Replay
+	noise    rl.Noise
+	observer *Observer
+	reward   *Reward
+	rng      *sim.RNG
+
+	step       int
+	nextAct    sim.Time
+	lastState  []float64
+	lastAction []float64
+
+	// Log holds per-step records when RecordLog is set.
+	Log []LogPoint
+	// EpisodeReturn accumulates reward over the current episode.
+	EpisodeReturn float64
+	// Losses tracks the most recent update's losses.
+	CriticLoss, ActorLoss float64
+}
+
+// New builds a DeepPower policy.
+func New(cfg Config) (*DeepPower, error) {
+	full := cfg.withDefaults()
+	var agent Backend
+	switch full.Backend {
+	case BackendDDPG:
+		a, err := rl.NewDDPG(full.DDPG)
+		if err != nil {
+			return nil, err
+		}
+		agent = a
+	case BackendTD3:
+		a, err := rl.NewTD3(rl.TD3Config{
+			StateDim:  full.DDPG.StateDim,
+			ActionDim: full.DDPG.ActionDim,
+			ActorLR:   full.DDPG.ActorLR,
+			CriticLR:  full.DDPG.CriticLR,
+			Gamma:     full.DDPG.Gamma,
+			Tau:       full.DDPG.Tau,
+			Seed:      full.DDPG.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		agent = td3Backend{a}
+	default:
+		return nil, fmt.Errorf("agent: unknown backend %q", full.Backend)
+	}
+	rng := sim.NewRNG(full.Seed).Stream("deeppower")
+	dp := &DeepPower{
+		cfg:    full,
+		tc:     control.NewThreadController(full.InitialParams),
+		agent:  agent,
+		replay: rl.NewReplay(full.ReplayCap, rng.Stream("replay")),
+		noise: &rl.DecayedNoise{
+			Inner: rl.NewGaussianNoise(full.NoiseMu, full.NoiseSigma, rng.Stream("noise")),
+			Scale: 1, Decay: full.NoiseDecay, Floor: 0.05,
+		},
+		reward: NewReward(full.Reward),
+		rng:    rng.Stream("warmup-actions"),
+	}
+	return dp, nil
+}
+
+// Name implements server.Policy.
+func (dp *DeepPower) Name() string { return "deeppower" }
+
+// Params returns the thread controller's current parameters.
+func (dp *DeepPower) Params() control.Params { return dp.tc.Params() }
+
+// Agent exposes the underlying learner (diagnostics, ablations).
+func (dp *DeepPower) Agent() Backend { return dp.agent }
+
+// StepCount reports completed agent steps across all episodes.
+func (dp *DeepPower) StepCount() int { return dp.step }
+
+// Return implements Trainable.
+func (dp *DeepPower) Return() float64 { return dp.EpisodeReturn }
+
+// Init implements server.Policy: per-episode reset. Learned networks, the
+// replay pool, and exploration decay persist across episodes.
+func (dp *DeepPower) Init(c server.Control) {
+	dp.BasePolicy.Init(c)
+	dp.tc.Init(c)
+	if dp.observer == nil {
+		dp.observer = NewObserver(c.SLA())
+	} else {
+		// Keep learned normalization across episodes so training-time and
+		// evaluation-time state representations agree.
+		dp.observer.Reset()
+	}
+	dp.reward.Reset()
+	dp.lastState = nil
+	dp.lastAction = nil
+	dp.EpisodeReturn = 0
+	dp.nextAct = c.Now() // act immediately on the first tick
+	dp.tc.SetParams(dp.cfg.InitialParams)
+}
+
+// OnTick implements server.Policy: Algorithm 1 every tick, Algorithm 2 every
+// LongTime. In Flat mode the controller is bypassed and the agent's score
+// applies uniformly (set once at the agent step).
+func (dp *DeepPower) OnTick(now sim.Time) {
+	if now >= dp.nextAct {
+		dp.agentStep(now)
+		dp.nextAct = now + dp.cfg.LongTime
+	}
+	if !dp.cfg.Flat {
+		dp.tc.Apply(now, dp.Ctl)
+	}
+}
+
+// OnDispatch implements server.Policy (delegated to the controller so new
+// requests get scored immediately).
+func (dp *DeepPower) OnDispatch(r *server.Request, core int) {
+	if !dp.cfg.Flat {
+		dp.tc.OnDispatch(r, core)
+	}
+}
+
+// agentStep is one iteration of Algorithm 2's loop body.
+func (dp *DeepPower) agentStep(now sim.Time) {
+	snap := dp.Ctl.Snapshot()
+	state := dp.observer.Observe(snap)
+	rew := dp.reward.Step(snap.Energy, snap.Counters.Timeouts, snap.QueueLen, dp.cfg.LongTime)
+
+	// Store the completed transition and learn.
+	if dp.cfg.Train && dp.lastState != nil {
+		dp.replay.Push(rl.Transition{
+			State:     dp.lastState,
+			Action:    dp.lastAction,
+			Reward:    rew.Total,
+			NextState: state,
+		})
+		if dp.step >= dp.cfg.WarmupSteps && dp.replay.Len() >= dp.cfg.BatchSize {
+			for u := 0; u < dp.cfg.UpdatesPerStep; u++ {
+				dp.CriticLoss, dp.ActorLoss = dp.agent.Update(dp.replay.Sample(dp.cfg.BatchSize))
+			}
+		}
+	}
+	dp.EpisodeReturn += rew.Total
+
+	// Select the next action.
+	var action []float64
+	switch {
+	case dp.cfg.Train && dp.step < dp.cfg.WarmupSteps:
+		action = []float64{dp.rng.Float64(), dp.rng.Float64()} // randomSelect()
+	case dp.cfg.Train:
+		action = dp.agent.ActNoisy(state, dp.noise)
+	default:
+		action = dp.agent.Act(state)
+	}
+	params := control.Params{BaseFreq: action[0], ScalingCoef: action[1]}
+	dp.tc.SetParams(params)
+	if dp.cfg.Flat {
+		for i := 0; i < dp.Ctl.NumCores(); i++ {
+			dp.Ctl.SetScore(i, action[0])
+		}
+	}
+
+	if dp.cfg.RecordLog {
+		dp.Log = append(dp.Log, LogPoint{At: now, Params: dp.tc.Params(), Reward: rew, State: state})
+	}
+	dp.lastState = state
+	dp.lastAction = action
+	dp.step++
+}
+
+// SavePolicy writes the trained actor.
+func (dp *DeepPower) SavePolicy(w io.Writer) error { return dp.agent.SavePolicy(w) }
+
+// LoadPolicy installs a trained actor and switches the policy to inference.
+func (dp *DeepPower) LoadPolicy(r io.Reader) error {
+	if err := dp.agent.LoadPolicy(r); err != nil {
+		return fmt.Errorf("agent: %w", err)
+	}
+	dp.cfg.Train = false
+	return nil
+}
+
+// SetTrain toggles training mode.
+func (dp *DeepPower) SetTrain(train bool) { dp.cfg.Train = train }
+
+// EnableLog turns on per-step action/reward logging (Fig. 8).
+func (dp *DeepPower) EnableLog() { dp.cfg.RecordLog = true }

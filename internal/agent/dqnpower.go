@@ -1,0 +1,220 @@
+package agent
+
+import (
+	"fmt"
+
+	"github.com/deeppower/deeppower/internal/control"
+	"github.com/deeppower/deeppower/internal/rl"
+	"github.com/deeppower/deeppower/internal/server"
+	"github.com/deeppower/deeppower/internal/sim"
+)
+
+// DQNPowerConfig parameterizes the value-based DeepPower variant: a DQN (or
+// DDQN) agent choosing thread-controller parameters from a discrete
+// GridSize×GridSize lattice over [0,1]². The paper formulates the problem
+// with continuous actions and DDPG (§4.3); this variant is the natural
+// ablation quantifying what discretization costs.
+type DQNPowerConfig struct {
+	// LongTime is the agent step interval (default 1 s).
+	LongTime sim.Time
+	// GridSize discretizes each parameter into GridSize levels (default 5
+	// → 25 actions).
+	GridSize int
+	// Reward weights (defaults as in RewardConfig).
+	Reward RewardConfig
+	// Double selects DDQN updates.
+	Double bool
+	// EpsStart, EpsEnd, EpsDecay control ε-greedy exploration
+	// (defaults 1.0 → 0.05, decay 0.99 per step).
+	EpsStart, EpsEnd, EpsDecay float64
+	// WarmupSteps of pure random actions (default 20).
+	WarmupSteps int
+	// BatchSize (default 64), UpdatesPerStep (default 1),
+	// ReplayCap (default 100000).
+	BatchSize, UpdatesPerStep, ReplayCap int
+	// Train enables exploration and learning.
+	Train bool
+	// InitialParams seeds the controller.
+	InitialParams control.Params
+	Seed          int64
+}
+
+func (c DQNPowerConfig) withDefaults() DQNPowerConfig {
+	if c.LongTime == 0 {
+		c.LongTime = sim.Second
+	}
+	if c.GridSize == 0 {
+		c.GridSize = 5
+	}
+	if c.EpsStart == 0 {
+		c.EpsStart = 1.0
+	}
+	if c.EpsEnd == 0 {
+		c.EpsEnd = 0.05
+	}
+	if c.EpsDecay == 0 {
+		c.EpsDecay = 0.99
+	}
+	if c.WarmupSteps == 0 {
+		c.WarmupSteps = 20
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 64
+	}
+	if c.UpdatesPerStep == 0 {
+		c.UpdatesPerStep = 1
+	}
+	if c.ReplayCap == 0 {
+		c.ReplayCap = 100000
+	}
+	if c.InitialParams == (control.Params{}) {
+		c.InitialParams = control.Params{BaseFreq: 0.6, ScalingCoef: 0.6}
+	}
+	return c
+}
+
+// DQNPower is the discrete-action DeepPower variant.
+type DQNPower struct {
+	server.BasePolicy
+	cfg DQNPowerConfig
+
+	tc       *control.ThreadController
+	agent    *rl.DQN
+	replay   *rl.Replay
+	observer *Observer
+	reward   *Reward
+	rng      *sim.RNG
+
+	eps        float64
+	step       int
+	nextAct    sim.Time
+	lastState  []float64
+	lastAction int
+
+	// EpisodeReturn accumulates reward over the current episode.
+	EpisodeReturn float64
+}
+
+// NewDQNPower builds the policy.
+func NewDQNPower(cfg DQNPowerConfig) (*DQNPower, error) {
+	full := cfg.withDefaults()
+	if full.GridSize < 2 {
+		return nil, fmt.Errorf("agent: grid size %d too small", full.GridSize)
+	}
+	dqn, err := rl.NewDQN(rl.DQNConfig{
+		StateDim:   StateDim,
+		NumActions: full.GridSize * full.GridSize,
+		Double:     full.Double,
+		Seed:       full.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rng := sim.NewRNG(full.Seed).Stream("dqnpower")
+	return &DQNPower{
+		cfg:    full,
+		tc:     control.NewThreadController(full.InitialParams),
+		agent:  dqn,
+		replay: rl.NewReplay(full.ReplayCap, rng.Stream("replay")),
+		reward: NewReward(full.Reward),
+		rng:    rng.Stream("explore"),
+		eps:    full.EpsStart,
+	}, nil
+}
+
+// Name implements server.Policy.
+func (dq *DQNPower) Name() string {
+	if dq.cfg.Double {
+		return "ddqn-power"
+	}
+	return "dqn-power"
+}
+
+// Params returns the controller's current parameters.
+func (dq *DQNPower) Params() control.Params { return dq.tc.Params() }
+
+// paramsOf maps an action index onto the parameter lattice.
+func (dq *DQNPower) paramsOf(action int) control.Params {
+	g := dq.cfg.GridSize
+	row, col := action/g, action%g
+	den := float64(g - 1)
+	return control.Params{
+		BaseFreq:    float64(row) / den,
+		ScalingCoef: float64(col) / den,
+	}
+}
+
+// Init implements server.Policy.
+func (dq *DQNPower) Init(c server.Control) {
+	dq.BasePolicy.Init(c)
+	dq.tc.Init(c)
+	if dq.observer == nil {
+		dq.observer = NewObserver(c.SLA())
+	} else {
+		dq.observer.Reset()
+	}
+	dq.reward.Reset()
+	dq.lastState = nil
+	dq.EpisodeReturn = 0
+	dq.nextAct = c.Now()
+	dq.tc.SetParams(dq.cfg.InitialParams)
+}
+
+// OnTick implements server.Policy.
+func (dq *DQNPower) OnTick(now sim.Time) {
+	if now >= dq.nextAct {
+		dq.agentStep(now)
+		dq.nextAct = now + dq.cfg.LongTime
+	}
+	dq.tc.Apply(now, dq.Ctl)
+}
+
+// OnDispatch implements server.Policy.
+func (dq *DQNPower) OnDispatch(r *server.Request, core int) {
+	dq.tc.OnDispatch(r, core)
+}
+
+func (dq *DQNPower) agentStep(now sim.Time) {
+	snap := dq.Ctl.Snapshot()
+	state := dq.observer.Observe(snap)
+	rew := dq.reward.Step(snap.Energy, snap.Counters.Timeouts, snap.QueueLen, dq.cfg.LongTime)
+
+	if dq.cfg.Train && dq.lastState != nil {
+		dq.replay.Push(rl.Transition{
+			State:     dq.lastState,
+			Action:    []float64{float64(dq.lastAction)},
+			Reward:    rew.Total,
+			NextState: state,
+		})
+		if dq.step >= dq.cfg.WarmupSteps && dq.replay.Len() >= dq.cfg.BatchSize {
+			for u := 0; u < dq.cfg.UpdatesPerStep; u++ {
+				dq.agent.Update(dq.replay.Sample(dq.cfg.BatchSize))
+			}
+		}
+	}
+	dq.EpisodeReturn += rew.Total
+
+	var action int
+	switch {
+	case dq.cfg.Train && dq.step < dq.cfg.WarmupSteps:
+		action = dq.rng.Intn(dq.cfg.GridSize * dq.cfg.GridSize)
+	case dq.cfg.Train:
+		action = dq.agent.ActEpsilonGreedy(state, dq.eps)
+		dq.eps *= dq.cfg.EpsDecay
+		if dq.eps < dq.cfg.EpsEnd {
+			dq.eps = dq.cfg.EpsEnd
+		}
+	default:
+		action = dq.agent.Act(state)
+	}
+	dq.tc.SetParams(dq.paramsOf(action))
+	dq.lastState = state
+	dq.lastAction = action
+	dq.step++
+}
+
+// SetTrain toggles training mode.
+func (dq *DQNPower) SetTrain(train bool) { dq.cfg.Train = train }
+
+// Return implements Trainable.
+func (dq *DQNPower) Return() float64 { return dq.EpisodeReturn }

@@ -1,0 +1,99 @@
+// Package agent implements the DeepPower framework of the paper's §4: the
+// state observer, the reward calculator, the DRL agent (DDPG) driving the
+// thread controller's parameters, and the training loop of Algorithm 2.
+package agent
+
+import (
+	"github.com/deeppower/deeppower/internal/server"
+	"github.com/deeppower/deeppower/internal/sim"
+)
+
+// StateDim is the dimension of the observation vector (§4.4.1).
+const StateDim = 8
+
+// State vector component indices.
+const (
+	StateNumReq = iota // requests received in the last period
+	StateQueueLen
+	StateQueue25 // queued requests with < 25% of the SLA budget left
+	StateQueue50
+	StateQueue75
+	StateCore25 // in-service requests with < 25% of the SLA budget left
+	StateCore50
+	StateCore75
+)
+
+// StateNames labels the vector components for diagnostics.
+var StateNames = [StateDim]string{
+	"NumReq", "QueueLen", "Queue25", "Queue50", "Queue75",
+	"Core25", "Core50", "Core75",
+}
+
+// Observer converts server snapshots into the paper's 8-dimensional
+// normalized state vector. Each component is divided by a running maximum so
+// the representation stays in [0,1] without application-specific tuning.
+type Observer struct {
+	sla          sim.Time
+	lastArrivals uint64
+	norms        [StateDim]float64
+}
+
+// NewObserver returns an observer for an application with the given SLA.
+func NewObserver(sla sim.Time) *Observer {
+	o := &Observer{sla: sla}
+	for i := range o.norms {
+		o.norms[i] = 1
+	}
+	return o
+}
+
+// Reset clears inter-step memory (arrival deltas) at episode boundaries,
+// keeping learned normalization.
+func (o *Observer) Reset() { o.lastArrivals = 0 }
+
+// Raw computes the unnormalized state vector from a snapshot.
+func (o *Observer) Raw(snap server.Snapshot) [StateDim]float64 {
+	var v [StateDim]float64
+	v[StateNumReq] = float64(snap.Counters.Arrivals - o.lastArrivals)
+	v[StateQueueLen] = float64(snap.QueueLen)
+	for _, rem := range snap.QueueSLARemaining {
+		frac := float64(rem) / float64(o.sla)
+		if frac < 0.25 {
+			v[StateQueue25]++
+		}
+		if frac < 0.50 {
+			v[StateQueue50]++
+		}
+		if frac < 0.75 {
+			v[StateQueue75]++
+		}
+	}
+	for _, rem := range snap.CoreSLARemaining {
+		frac := float64(rem) / float64(o.sla)
+		if frac < 0.25 {
+			v[StateCore25]++
+		}
+		if frac < 0.50 {
+			v[StateCore50]++
+		}
+		if frac < 0.75 {
+			v[StateCore75]++
+		}
+	}
+	return v
+}
+
+// Observe produces the normalized state vector and advances the arrival
+// delta tracking.
+func (o *Observer) Observe(snap server.Snapshot) []float64 {
+	raw := o.Raw(snap)
+	o.lastArrivals = snap.Counters.Arrivals
+	out := make([]float64, StateDim)
+	for i, x := range raw {
+		if x > o.norms[i] {
+			o.norms[i] = x
+		}
+		out[i] = x / o.norms[i]
+	}
+	return out
+}

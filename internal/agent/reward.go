@@ -1,0 +1,129 @@
+package agent
+
+import (
+	"math"
+
+	"github.com/deeppower/deeppower/internal/sim"
+)
+
+// RewardConfig weights the three penalty terms of §4.4.2:
+//
+//	R_total = -(α·R_energy + β·R_timeout + γ·R_queue)
+type RewardConfig struct {
+	// Alpha weights energy (default 1).
+	Alpha float64
+	// Beta weights timeouts (default 10) — raise it if tail latency sits
+	// above the SLA, per the paper's tuning note.
+	Beta float64
+	// Gamma weights queue growth (default 1).
+	Gamma float64
+	// Eta is the scaleFunc threshold: queues shorter than Eta are barely
+	// punished, longer queues strongly (default 100, Fig. 5).
+	Eta float64
+	// RefPowerW normalizes R_energy: the energy of one step is divided by
+	// RefPowerW·step so a fully-loaded baseline scores ≈ 1.
+	RefPowerW float64
+}
+
+// Weights set to a negative value disable the corresponding term (zero
+// selects the default) — the sentinel the reward ablations use.
+func (c RewardConfig) withDefaults() RewardConfig {
+	if c.Alpha == 0 {
+		c.Alpha = 1
+	}
+	if c.Beta == 0 {
+		c.Beta = 10
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 1
+	}
+	if c.Alpha < 0 {
+		c.Alpha = 0
+	}
+	if c.Beta < 0 {
+		c.Beta = 0
+	}
+	if c.Gamma < 0 {
+		c.Gamma = 0
+	}
+	if c.Eta == 0 {
+		c.Eta = 100
+	}
+	if c.RefPowerW == 0 {
+		c.RefPowerW = 300
+	}
+	return c
+}
+
+// ScaleFunc is the paper's queue scaling function (Fig. 5):
+//
+//	scaleFunc(x) = (x/η) / (x/η + η/(x+ε))
+//
+// ≈0 below η, →1 as x → ∞.
+func ScaleFunc(x, eta float64) float64 {
+	const eps = 1e-9
+	a := x / eta
+	return a / (a + eta/(x+eps))
+}
+
+// Reward computes per-step rewards from interval deltas.
+type Reward struct {
+	cfg          RewardConfig
+	lastEnergy   float64
+	lastTimeouts uint64
+	lastQueueLen int
+	primed       bool
+}
+
+// NewReward returns a calculator with the given (defaulted) weights.
+func NewReward(cfg RewardConfig) *Reward {
+	return &Reward{cfg: cfg.withDefaults()}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (rw *Reward) Config() RewardConfig { return rw.cfg }
+
+// Reset clears inter-step state at episode boundaries.
+func (rw *Reward) Reset() { rw.primed = false }
+
+// Breakdown decomposes one step's reward.
+type Breakdown struct {
+	Energy  float64 // α·R_energy
+	Timeout float64 // β·R_timeout
+	Queue   float64 // γ·R_queue
+	Total   float64 // -(sum)
+}
+
+// Step computes the reward for the interval ending now, given cumulative
+// energy (joules), cumulative timeout count, the current queue length, and
+// the step duration. The first call after Reset only primes the deltas and
+// returns a zero Breakdown.
+func (rw *Reward) Step(energyJ float64, timeouts uint64, queueLen int, step sim.Time) Breakdown {
+	defer func() {
+		rw.lastEnergy = energyJ
+		rw.lastTimeouts = timeouts
+		rw.lastQueueLen = queueLen
+		rw.primed = true
+	}()
+	if !rw.primed {
+		return Breakdown{}
+	}
+	var b Breakdown
+	// R_energy: interval energy normalized to the reference power budget.
+	denom := rw.cfg.RefPowerW * step.Seconds()
+	if denom > 0 {
+		b.Energy = rw.cfg.Alpha * (energyJ - rw.lastEnergy) / denom
+	}
+	// R_timeout: timeouts in the interval, compressed with log1p so a
+	// thousand-timeout burst does not dwarf every other signal.
+	dt := float64(timeouts - rw.lastTimeouts)
+	b.Timeout = rw.cfg.Beta * math.Log1p(dt) / 10
+	// R_queue: scaleFunc(ql)·max(ql − ql_prev, 0) (§4.4.2).
+	growth := float64(queueLen - rw.lastQueueLen)
+	if growth < 0 {
+		growth = 0
+	}
+	b.Queue = rw.cfg.Gamma * ScaleFunc(float64(queueLen), rw.cfg.Eta) * growth
+	b.Total = -(b.Energy + b.Timeout + b.Queue)
+	return b
+}

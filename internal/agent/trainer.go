@@ -1,0 +1,103 @@
+package agent
+
+import (
+	"fmt"
+
+	"github.com/deeppower/deeppower/internal/server"
+	"github.com/deeppower/deeppower/internal/sim"
+	"github.com/deeppower/deeppower/internal/workload"
+)
+
+// TrainConfig drives the training loop of Algorithm 2: the paper trains
+// "with a long running workload", then tests the frozen policy on a short
+// one.
+type TrainConfig struct {
+	// Episodes is how many trace periods to train for (default 8).
+	Episodes int
+	// EpisodeLen is the virtual duration of one episode (default: one
+	// trace period).
+	EpisodeLen sim.Time
+	// Server configures the simulated latency-critical system; its Seed is
+	// perturbed per episode so the agent sees varied arrivals.
+	Server server.Config
+	// Trace is the request-rate trace to train against.
+	Trace *workload.Trace
+}
+
+// Trainable is a policy the training loop can drive: DeepPower (DDPG) and
+// DQNPower both qualify.
+type Trainable interface {
+	server.Policy
+	// SetTrain toggles exploration and learning.
+	SetTrain(train bool)
+	// Return reports the reward accumulated over the current episode.
+	Return() float64
+}
+
+// EpisodeStats summarizes one training episode.
+type EpisodeStats struct {
+	Episode     int
+	Return      float64 // summed reward
+	AvgPowerW   float64
+	TimeoutRate float64
+	P99Seconds  float64
+	CriticLoss  float64
+}
+
+// Train runs the policy through cfg.Episodes episodes, returning per-episode
+// statistics. The policy's networks persist and improve across episodes.
+func Train(dp Trainable, cfg TrainConfig) ([]EpisodeStats, error) {
+	if cfg.Trace == nil {
+		return nil, fmt.Errorf("agent: TrainConfig.Trace is required")
+	}
+	if cfg.Episodes == 0 {
+		cfg.Episodes = 8
+	}
+	if cfg.Episodes < 0 {
+		return nil, fmt.Errorf("agent: negative episode count %d", cfg.Episodes)
+	}
+	if cfg.EpisodeLen == 0 {
+		cfg.EpisodeLen = cfg.Trace.Period
+	}
+	dp.SetTrain(true)
+	stats := make([]EpisodeStats, 0, cfg.Episodes)
+	for ep := 0; ep < cfg.Episodes; ep++ {
+		sc := cfg.Server
+		sc.Seed = cfg.Server.Seed + int64(ep)*7919
+		sc.DiscardLatencies = false
+		eng := sim.NewEngine()
+		srv, err := server.New(eng, sc, dp)
+		if err != nil {
+			return stats, err
+		}
+		res, err := srv.Run(cfg.Trace, cfg.EpisodeLen)
+		if err != nil {
+			return stats, err
+		}
+		st := EpisodeStats{
+			Episode:     ep,
+			Return:      dp.Return(),
+			AvgPowerW:   res.AvgPowerW,
+			TimeoutRate: res.TimeoutRate,
+			P99Seconds:  res.Latency.P99,
+		}
+		if ddpg, ok := dp.(*DeepPower); ok {
+			st.CriticLoss = ddpg.CriticLoss
+		}
+		stats = append(stats, st)
+	}
+	dp.SetTrain(false)
+	return stats, nil
+}
+
+// Evaluate runs the policy (without exploration or learning) once and
+// returns the result.
+func Evaluate(dp Trainable, cfg server.Config, trace *workload.Trace, duration sim.Time) (*server.Result, error) {
+	dp.SetTrain(false)
+	eng := sim.NewEngine()
+	srv, err := server.New(eng, cfg, dp)
+	if err != nil {
+		return nil, err
+	}
+	return srv.Run(trace, duration)
+}

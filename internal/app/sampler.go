@@ -1,0 +1,98 @@
+package app
+
+import (
+	"fmt"
+
+	"github.com/deeppower/deeppower/internal/sim"
+)
+
+// TailedSampler is the request population generator shared by all profiles.
+//
+// A request draws three observable features:
+//
+//	x1 ~ LogNormal(0, Sigma1)   — "input size" (query terms, sentence length…)
+//	x2 ~ Uniform[0, 1)          — secondary input property
+//	x3 ~ categorical type       — request class (e.g. GET vs PUT)
+//
+// and its uncontended reference service time is
+//
+//	S = (BaseUS + CoefUS·x1·(1 + Inter·x2)) · typeMul(x3) · noise  [+ tail]
+//
+// where noise is LogNormal(0, NoiseSigma) and, with probability TailProb, a
+// Pareto(TailScaleUS, TailAlpha) spike is added. The observable features
+// explain most of the variance (so per-request predictors can work at a
+// fixed load, as ReTail reports), while the interaction term, noise, and
+// spikes leave the irreducible long tail seen in Fig. 1.
+type TailedSampler struct {
+	BaseUS     float64   // constant service component, µs
+	CoefUS     float64   // µs of service per unit x1
+	Sigma1     float64   // log-σ of x1
+	Inter      float64   // strength of the x1·x2 interaction
+	TypeMuls   []float64 // service multiplier per request type
+	TypeProbs  []float64 // probability of each type (sums to 1)
+	NoiseSigma float64   // log-σ of multiplicative noise
+	TailProb   float64   // probability of a Pareto spike
+	TailScale  float64   // Pareto scale, µs
+	TailAlpha  float64   // Pareto shape
+}
+
+// FeatureDim implements Sampler. Features are [x1, x2, type].
+func (s *TailedSampler) FeatureDim() int { return 3 }
+
+// Sample implements Sampler.
+func (s *TailedSampler) Sample(r *sim.RNG) Work {
+	x1 := r.LogNormal(0, s.Sigma1)
+	x2 := r.Float64()
+	typ := s.sampleType(r)
+
+	us := (s.BaseUS + s.CoefUS*x1*(1+s.Inter*x2)) * s.typeMul(typ)
+	if s.NoiseSigma > 0 {
+		us *= r.LogNormal(0, s.NoiseSigma)
+	}
+	if s.TailProb > 0 && r.Bernoulli(s.TailProb) {
+		us += r.Pareto(s.TailScale, s.TailAlpha)
+	}
+	return Work{
+		ServiceRef: sim.Micros(us),
+		Features:   []float64{x1, x2, float64(typ)},
+	}
+}
+
+func (s *TailedSampler) sampleType(r *sim.RNG) int {
+	if len(s.TypeProbs) == 0 {
+		return 0
+	}
+	u := r.Float64()
+	acc := 0.0
+	for i, p := range s.TypeProbs {
+		acc += p
+		if u < acc {
+			return i
+		}
+	}
+	return len(s.TypeProbs) - 1
+}
+
+func (s *TailedSampler) typeMul(typ int) float64 {
+	if typ < len(s.TypeMuls) {
+		return s.TypeMuls[typ]
+	}
+	return 1
+}
+
+// Validate reports an error for malformed samplers.
+func (s *TailedSampler) Validate() error {
+	switch {
+	case s.BaseUS < 0 || s.CoefUS < 0:
+		return fmt.Errorf("app: negative service coefficients")
+	case s.Sigma1 < 0 || s.NoiseSigma < 0:
+		return fmt.Errorf("app: negative sigma")
+	case s.TailProb < 0 || s.TailProb > 1:
+		return fmt.Errorf("app: TailProb outside [0,1]")
+	case s.TailProb > 0 && (s.TailScale <= 0 || s.TailAlpha <= 0):
+		return fmt.Errorf("app: tail enabled with invalid Pareto parameters")
+	case len(s.TypeMuls) != len(s.TypeProbs):
+		return fmt.Errorf("app: TypeMuls/TypeProbs length mismatch")
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package baselines
+
+import (
+	"fmt"
+
+	"github.com/deeppower/deeppower/internal/app"
+	"github.com/deeppower/deeppower/internal/server"
+	"github.com/deeppower/deeppower/internal/sim"
+	"github.com/deeppower/deeppower/internal/workload"
+)
+
+// ServiceSample is one profiled request: its observable features and the
+// measured service time (seconds of wall time at the reference frequency).
+type ServiceSample struct {
+	Features []float64
+	Service  float64
+}
+
+// CollectServiceData runs the application at a constant Poisson load
+// (loadFrac of its reference-frequency capacity) with all cores pinned at
+// the reference frequency, and records up to n completed requests'
+// (features, service time) pairs. This is the offline profiling pass both
+// ReTail and Gemini use to fit their service-time predictors, and the
+// data-generation procedure of the paper's Fig. 2 experiment.
+func CollectServiceData(prof *app.Profile, loadFrac float64, n int, seed int64) ([]ServiceSample, error) {
+	if loadFrac <= 0 || loadFrac >= 1.2 {
+		return nil, fmt.Errorf("baselines: load fraction %v outside (0, 1.2)", loadFrac)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("baselines: non-positive sample count %d", n)
+	}
+	rate := loadFrac * prof.MaxCapacity(prof.RefFreq, seed)
+	collector := &serviceCollector{want: n}
+	eng := sim.NewEngine()
+	srv, err := server.New(eng, server.Config{
+		App:              prof,
+		Seed:             seed,
+		DiscardLatencies: true,
+	}, collector)
+	if err != nil {
+		return nil, err
+	}
+	// Run long enough to observe n completions at the offered rate, with
+	// slack for warmup and tail effects.
+	duration := sim.Seconds(float64(n)/rate*1.5) + 2*sim.Second
+	if _, err := srv.Run(workload.Constant(rate, sim.Second), duration); err != nil {
+		return nil, err
+	}
+	if len(collector.samples) < n/2 {
+		return nil, fmt.Errorf("baselines: profiling collected only %d of %d samples",
+			len(collector.samples), n)
+	}
+	return collector.samples, nil
+}
+
+// serviceCollector pins cores at the reference frequency and records
+// completions.
+type serviceCollector struct {
+	server.BasePolicy
+	want    int
+	samples []ServiceSample
+}
+
+func (c *serviceCollector) Name() string { return "profiler" }
+
+func (c *serviceCollector) Init(ctl server.Control) {
+	c.BasePolicy.Init(ctl)
+	for i := 0; i < ctl.NumCores(); i++ {
+		ctl.SetFreq(i, ctl.Ladder().Max)
+	}
+}
+
+func (c *serviceCollector) OnComplete(r *server.Request, core int) {
+	if len(c.samples) >= c.want {
+		return
+	}
+	c.samples = append(c.samples, ServiceSample{
+		Features: append([]float64(nil), r.Work.Features...),
+		Service:  (r.Finish - r.Start).Seconds(),
+	})
+}
+
+// SplitXY converts samples into regression matrices.
+func SplitXY(samples []ServiceSample) (X [][]float64, y []float64) {
+	X = make([][]float64, len(samples))
+	y = make([]float64, len(samples))
+	for i, s := range samples {
+		X[i] = s.Features
+		y[i] = s.Service
+	}
+	return X, y
+}

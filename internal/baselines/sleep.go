@@ -1,0 +1,77 @@
+package baselines
+
+import (
+	"fmt"
+
+	"github.com/deeppower/deeppower/internal/cpu"
+	"github.com/deeppower/deeppower/internal/server"
+	"github.com/deeppower/deeppower/internal/sim"
+)
+
+// SleepWrapper adds C-state management on top of any DVFS policy: cores
+// idle for longer than Grace are put into State and wake automatically —
+// paying the wake-up latency — when the next request is dispatched to them.
+//
+// This implements the sleep-state integration the paper's §6 leaves as
+// future work, in the spirit of DynSleep/µDPM: DVFS decisions stay with the
+// inner policy, sleep decisions are layered on idleness.
+type SleepWrapper struct {
+	// Inner makes all frequency decisions.
+	Inner server.Policy
+	// Grace is how long a core must stay idle before sleeping (default
+	// 1 ms — several mean inter-arrival gaps at moderate load).
+	Grace sim.Time
+	// State is the C-state to enter (default C6).
+	State cpu.CState
+
+	ctl       server.Control
+	idleSince []sim.Time
+}
+
+// NewSleepWrapper wraps inner with default grace and state.
+func NewSleepWrapper(inner server.Policy) *SleepWrapper {
+	return &SleepWrapper{Inner: inner, Grace: sim.Millisecond, State: cpu.C6}
+}
+
+// Name implements server.Policy.
+func (p *SleepWrapper) Name() string {
+	return fmt.Sprintf("%s+%v", p.Inner.Name(), p.State)
+}
+
+// Init implements server.Policy.
+func (p *SleepWrapper) Init(c server.Control) {
+	p.ctl = c
+	p.idleSince = make([]sim.Time, c.NumCores())
+	p.Inner.Init(c)
+}
+
+// OnTick implements server.Policy.
+func (p *SleepWrapper) OnTick(now sim.Time) {
+	p.Inner.OnTick(now)
+	for i := 0; i < p.ctl.NumCores(); i++ {
+		if p.ctl.CoreRequest(i) != nil {
+			continue
+		}
+		if p.ctl.CoreCState(i) != cpu.C0 {
+			continue // already asleep
+		}
+		if now-p.idleSince[i] >= p.Grace {
+			p.ctl.Sleep(i, p.State)
+		}
+	}
+}
+
+// OnArrival implements server.Policy.
+func (p *SleepWrapper) OnArrival(r *server.Request) { p.Inner.OnArrival(r) }
+
+// OnDispatch implements server.Policy. The server has already woken the
+// core; the inner policy's frequency choice applies once it resumes.
+func (p *SleepWrapper) OnDispatch(r *server.Request, core int) {
+	p.Inner.OnDispatch(r, core)
+}
+
+// OnComplete implements server.Policy.
+func (p *SleepWrapper) OnComplete(r *server.Request, core int) {
+	p.idleSince[core] = r.Finish
+	p.Inner.OnComplete(r, core)
+}

@@ -1,0 +1,137 @@
+package baselines
+
+import (
+	"testing"
+
+	"github.com/deeppower/deeppower/internal/cpu"
+	"github.com/deeppower/deeppower/internal/server"
+	"github.com/deeppower/deeppower/internal/sim"
+	"github.com/deeppower/deeppower/internal/workload"
+)
+
+func runSleepTest(t *testing.T, pol server.Policy, loadFrac float64) *server.Result {
+	t.Helper()
+	prof := smallXapian()
+	rate := loadFrac * prof.MaxCapacity(prof.RefFreq, 1)
+	eng := sim.NewEngine()
+	srv, err := server.New(eng, server.Config{App: prof, Seed: 31}, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := srv.Run(workload.Constant(rate, sim.Second), 4*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSleepWrapperSavesPowerAtLowLoad(t *testing.T) {
+	// At 10% load most cores idle most of the time: C6 idling should cut
+	// power clearly versus the same inner policy without sleep.
+	plain := runSleepTest(t, NewMaxFreq(), 0.1)
+	slept := runSleepTest(t, NewSleepWrapper(NewMaxFreq()), 0.1)
+	if slept.AvgPowerW >= plain.AvgPowerW*0.95 {
+		t.Errorf("sleep wrapper power %v not clearly below plain %v",
+			slept.AvgPowerW, plain.AvgPowerW)
+	}
+}
+
+func TestSleepWrapperWakeLatencyCost(t *testing.T) {
+	// Wake-ups add up to 100 µs to some requests' latency; the mean must
+	// shift by at most that order, and correctness must hold.
+	plain := runSleepTest(t, NewMaxFreq(), 0.1)
+	slept := runSleepTest(t, NewSleepWrapper(NewMaxFreq()), 0.1)
+	extra := slept.Latency.Mean - plain.Latency.Mean
+	if extra < 0 {
+		t.Errorf("sleeping made requests faster? Δmean = %v", extra)
+	}
+	if extra > 150e-6 {
+		t.Errorf("wake latency cost %v s, want <= ~100us", extra)
+	}
+	if slept.Counters.Completions == 0 {
+		t.Fatal("no completions with sleep wrapper")
+	}
+}
+
+func TestSleepWrapperKeepsRequestsCorrect(t *testing.T) {
+	plain := runSleepTest(t, NewMaxFreq(), 0.5)
+	slept := runSleepTest(t, NewSleepWrapper(NewMaxFreq()), 0.5)
+	// Same seed, same arrivals: completion counts within a whisker.
+	diff := int64(plain.Counters.Completions) - int64(slept.Counters.Completions)
+	if diff < -5 || diff > 5 {
+		t.Errorf("completions diverged: %d vs %d",
+			plain.Counters.Completions, slept.Counters.Completions)
+	}
+}
+
+func TestSleepWrapperName(t *testing.T) {
+	w := NewSleepWrapper(NewMaxFreq())
+	if w.Name() != "baseline+C6" {
+		t.Errorf("name = %q", w.Name())
+	}
+	w.State = cpu.C1
+	if w.Name() != "baseline+C1" {
+		t.Errorf("name = %q", w.Name())
+	}
+}
+
+func TestSleepRefusedWhileBusy(t *testing.T) {
+	prof := smallXapian()
+	probe := &sleepProbe{}
+	eng := sim.NewEngine()
+	srv, err := server.New(eng, server.Config{App: prof, Seed: 33}, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := 0.9 * prof.MaxCapacity(prof.RefFreq, 1)
+	if _, err := srv.Run(workload.Constant(rate, sim.Second), sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !probe.sawBusyRefusal {
+		t.Error("Sleep on a busy core was never refused")
+	}
+}
+
+type sleepProbe struct {
+	server.BasePolicy
+	sawBusyRefusal bool
+}
+
+func (p *sleepProbe) Name() string { return "sleep-probe" }
+func (p *sleepProbe) OnTick(now sim.Time) {
+	for i := 0; i < p.Ctl.NumCores(); i++ {
+		if p.Ctl.CoreRequest(i) != nil {
+			if p.Ctl.Sleep(i, cpu.C6) {
+				panic("sleeping a busy core succeeded")
+			}
+			p.sawBusyRefusal = true
+		}
+	}
+}
+
+// SleepWrapper composes with prediction-based policies too — the µDPM-style
+// DVFS+sleep combination the paper's related work describes.
+func TestSleepWrapperOverRetail(t *testing.T) {
+	prof := smallXapian()
+	samples, err := CollectServiceData(prof, 0.3, 500, 35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	retail, err := FitRetail(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	retailSlept, err := FitRetail(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := runSleepTest(t, retail, 0.15)
+	slept := runSleepTest(t, NewSleepWrapper(retailSlept), 0.15)
+	if slept.AvgPowerW >= plain.AvgPowerW {
+		t.Errorf("retail+C6 power %v not below plain retail %v",
+			slept.AvgPowerW, plain.AvgPowerW)
+	}
+	if slept.Latency.P99 > prof.SLA.Seconds()*1.3 {
+		t.Errorf("retail+C6 p99 %v far above SLA", slept.Latency.P99)
+	}
+}

@@ -1,0 +1,268 @@
+// Package cpu models the processor the paper's testbed uses: a multi-core
+// CPU whose per-core frequency can be scaled at runtime (DVFS) with a
+// microsecond-scale transition latency, over a discrete frequency ladder
+// from FreqMin to FreqMax plus a turbo state above the ladder.
+//
+// The paper's machine is an Intel Xeon Gold 5218R (0.8–2.1 GHz under the
+// Linux "userspace" governor, plus turbo). The defaults here mirror that.
+package cpu
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/deeppower/deeppower/internal/sim"
+)
+
+// Freq is a core frequency in GHz.
+type Freq float64
+
+// GHz returns the frequency as a plain float64 in GHz.
+func (f Freq) GHz() float64 { return float64(f) }
+
+// String formats the frequency, e.g. "2.1GHz".
+func (f Freq) String() string { return fmt.Sprintf("%.2gGHz", float64(f)) }
+
+// Ladder describes the discrete DVFS operating points of a processor.
+type Ladder struct {
+	Min   Freq // lowest P-state, e.g. 0.8 GHz
+	Max   Freq // highest non-turbo P-state, e.g. 2.1 GHz
+	Step  Freq // grid spacing, e.g. 0.1 GHz
+	Turbo Freq // turbo frequency, above Max
+
+	// TransitionLatency is how long a requested frequency change takes to
+	// become effective ("a delay in a few microseconds", §1).
+	TransitionLatency sim.Time
+}
+
+// DefaultLadder returns the Xeon Gold 5218R-like ladder used throughout the
+// evaluation: 0.8–2.1 GHz in 0.1 GHz steps, 2.8 GHz turbo, 10 µs switches.
+func DefaultLadder() Ladder {
+	return Ladder{
+		Min:               0.8,
+		Max:               2.1,
+		Step:              0.1,
+		Turbo:             2.8,
+		TransitionLatency: 10 * sim.Microsecond,
+	}
+}
+
+// Validate reports an error if the ladder is malformed.
+func (l Ladder) Validate() error {
+	switch {
+	case l.Min <= 0:
+		return fmt.Errorf("cpu: ladder Min %v must be positive", l.Min)
+	case l.Max < l.Min:
+		return fmt.Errorf("cpu: ladder Max %v below Min %v", l.Max, l.Min)
+	case l.Step <= 0:
+		return fmt.Errorf("cpu: ladder Step %v must be positive", l.Step)
+	case l.Turbo < l.Max:
+		return fmt.Errorf("cpu: ladder Turbo %v below Max %v", l.Turbo, l.Max)
+	case l.TransitionLatency < 0:
+		return fmt.Errorf("cpu: negative transition latency")
+	}
+	return nil
+}
+
+// Levels enumerates the ladder's non-turbo operating points ascending,
+// followed by the turbo frequency as the final element.
+func (l Ladder) Levels() []Freq {
+	var out []Freq
+	for f := l.Min; f <= l.Max+l.Step/1000; f += l.Step {
+		out = append(out, l.quantizeExact(f))
+	}
+	if l.Turbo > l.Max {
+		out = append(out, l.Turbo)
+	}
+	return out
+}
+
+// NumLevels reports how many operating points Levels returns.
+func (l Ladder) NumLevels() int { return len(l.Levels()) }
+
+// Quantize clamps f into [Min, Max] and snaps it to the nearest grid point.
+// It never returns Turbo; use the Turbo field explicitly to engage turbo.
+func (l Ladder) Quantize(f Freq) Freq {
+	if f <= l.Min {
+		return l.Min
+	}
+	if f >= l.Max {
+		return l.Max
+	}
+	steps := math.Round(float64(f-l.Min) / float64(l.Step))
+	return l.quantizeExact(l.Min + Freq(steps)*l.Step)
+}
+
+// quantizeExact rounds away float drift so 0.8+5*0.1 prints as 1.3.
+func (l Ladder) quantizeExact(f Freq) Freq {
+	return Freq(math.Round(float64(f)*1e6) / 1e6)
+}
+
+// Interpolate maps a score in [0,1] onto the ladder linearly:
+// 0 → Min, 1 → Max, then quantizes. Scores outside [0,1] are clamped.
+// This is the interpolation step of the paper's thread controller
+// (Algorithm 1, line 9).
+func (l Ladder) Interpolate(score float64) Freq {
+	if score < 0 {
+		score = 0
+	}
+	if score > 1 {
+		score = 1
+	}
+	return l.Quantize(l.Min + Freq(score)*(l.Max-l.Min))
+}
+
+// Core is one physical core with DVFS state. A frequency request takes
+// TransitionLatency to become effective; Cycles integrates the retired
+// cycle count across the switch boundary exactly.
+type Core struct {
+	id     int
+	ladder Ladder
+
+	cur       Freq     // effective frequency
+	pending   Freq     // requested frequency not yet effective
+	pendingAt sim.Time // when pending becomes effective (0 = none)
+
+	transitions int // completed SetFreq requests that changed the target
+
+	// Sleep-state extension (see cstate.go).
+	cstate  CState
+	awakeAt sim.Time
+}
+
+// NewCore returns a core starting at the ladder's maximum frequency, which is
+// how the OS hands cores to the baseline (no power management) configuration.
+func NewCore(id int, ladder Ladder) *Core {
+	return &Core{id: id, ladder: ladder, cur: ladder.Max, pending: ladder.Max}
+}
+
+// ID returns the core's index.
+func (c *Core) ID() int { return c.id }
+
+// Ladder returns the core's frequency ladder.
+func (c *Core) Ladder() Ladder { return c.ladder }
+
+// Transitions reports how many effective frequency changes were requested.
+func (c *Core) Transitions() int { return c.transitions }
+
+// Target returns the most recently requested frequency (which may not yet be
+// effective).
+func (c *Core) Target() Freq {
+	if c.pendingAt > 0 {
+		return c.pending
+	}
+	return c.cur
+}
+
+// FreqAt returns the effective frequency at time t (t must not precede the
+// last interaction with the core).
+func (c *Core) FreqAt(t sim.Time) Freq {
+	if c.pendingAt > 0 && t >= c.pendingAt {
+		return c.pending
+	}
+	return c.cur
+}
+
+// SetFreq requests frequency f (quantized to the ladder unless it equals the
+// turbo frequency exactly) at time now. The change becomes effective at
+// now + TransitionLatency. Setting the current target again is a no-op.
+func (c *Core) SetFreq(now sim.Time, f Freq) {
+	if f != c.ladder.Turbo {
+		f = c.ladder.Quantize(f)
+	}
+	c.settle(now)
+	if f == c.Target() {
+		return
+	}
+	// A newer request supersedes any in-flight one.
+	c.pending = f
+	c.pendingAt = now + c.ladder.TransitionLatency
+	if c.pendingAt == now { // zero-latency ladders apply immediately
+		c.cur = f
+		c.pendingAt = 0
+	}
+	c.transitions++
+}
+
+// SetTurbo requests the turbo frequency.
+func (c *Core) SetTurbo(now sim.Time) { c.SetFreq(now, c.ladder.Turbo) }
+
+// settle folds a matured pending change into cur.
+func (c *Core) settle(now sim.Time) {
+	if c.pendingAt > 0 && now >= c.pendingAt {
+		c.cur = c.pending
+		c.pendingAt = 0
+	}
+}
+
+// Cycles returns how many billions of cycles (GHz·seconds) the core retires
+// between from and to, integrating across a pending frequency switch.
+func (c *Core) Cycles(from, to sim.Time) float64 {
+	if to < from {
+		panic(fmt.Sprintf("cpu: Cycles interval reversed: %v > %v", from, to))
+	}
+	if c.pendingAt > 0 && c.pendingAt < to {
+		split := c.pendingAt
+		if split < from {
+			split = from
+		}
+		return float64(c.cur)*(split-from).Seconds() + float64(c.pending)*(to-split).Seconds()
+	}
+	return float64(c.FreqAt(from)) * (to - from).Seconds()
+}
+
+// PendingSwitch reports an in-flight DVFS transition: the time it matures
+// and the frequency it switches to. ok is false when no switch is pending.
+func (c *Core) PendingSwitch() (at sim.Time, f Freq, ok bool) {
+	if c.pendingAt > 0 {
+		return c.pendingAt, c.pending, true
+	}
+	return 0, 0, false
+}
+
+// Segment is a span of time during which the core's frequency is constant.
+type Segment struct {
+	From, To sim.Time
+	F        Freq
+}
+
+// Segments splits [from, to] into spans of constant frequency (one span, or
+// two if a pending DVFS transition matures inside the interval).
+func (c *Core) Segments(from, to sim.Time) []Segment {
+	if to < from {
+		panic(fmt.Sprintf("cpu: Segments interval reversed: %v > %v", from, to))
+	}
+	if c.pendingAt > from && c.pendingAt < to {
+		return []Segment{
+			{From: from, To: c.pendingAt, F: c.cur},
+			{From: c.pendingAt, To: to, F: c.pending},
+		}
+	}
+	return []Segment{{From: from, To: to, F: c.FreqAt(from)}}
+}
+
+// TimeFor returns how long the core needs, starting at from, to retire
+// gcycles billions of cycles, accounting for a pending frequency switch.
+// It returns sim.MaxTime if the work can never finish (zero frequency).
+func (c *Core) TimeFor(from sim.Time, gcycles float64) sim.Time {
+	if gcycles <= 0 {
+		return 0
+	}
+	f0 := c.FreqAt(from)
+	if c.pendingAt > from {
+		// Work done before the switch matures.
+		head := float64(f0) * (c.pendingAt - from).Seconds()
+		if head >= gcycles {
+			return sim.Seconds(gcycles / float64(f0))
+		}
+		rest := gcycles - head
+		if c.pending <= 0 {
+			return sim.MaxTime
+		}
+		return (c.pendingAt - from) + sim.Seconds(rest/float64(c.pending))
+	}
+	if f0 <= 0 {
+		return sim.MaxTime
+	}
+	return sim.Seconds(gcycles / float64(f0))
+}

@@ -1,0 +1,78 @@
+package cpu
+
+import (
+	"testing"
+
+	"github.com/deeppower/deeppower/internal/sim"
+)
+
+func TestCStateBasics(t *testing.T) {
+	if C0.WakeLatency() != 0 {
+		t.Error("C0 should have zero wake latency")
+	}
+	if C6.WakeLatency() != 100*sim.Microsecond {
+		t.Errorf("C6 wake latency = %v, want 100us (paper §6)", C6.WakeLatency())
+	}
+	if C1.WakeLatency() >= C6.WakeLatency() {
+		t.Error("C1 should wake faster than C6")
+	}
+	if !(C6.PowerFactor() < C1.PowerFactor() && C1.PowerFactor() < C0.PowerFactor()) {
+		t.Error("deeper states must draw less power")
+	}
+	if C0.PowerFactor() != 1 {
+		t.Error("C0 factor must be 1")
+	}
+	for _, c := range []CState{C0, C1, C6} {
+		if c.String() == "" {
+			t.Error("empty state name")
+		}
+	}
+}
+
+func TestCoreSleepWake(t *testing.T) {
+	c := NewCore(0, DefaultLadder())
+	if c.Asleep(0) {
+		t.Error("fresh core should be awake")
+	}
+	c.Sleep(sim.Second, C6)
+	if c.CState() != C6 || !c.Asleep(sim.Second) {
+		t.Errorf("state = %v after Sleep", c.CState())
+	}
+	at := c.WakeUp(2 * sim.Second)
+	if at != 2*sim.Second+100*sim.Microsecond {
+		t.Errorf("wake completes at %v", at)
+	}
+	if c.CState() != C0 {
+		t.Errorf("state after WakeUp = %v", c.CState())
+	}
+	// Still "asleep" (waking) until the latency elapses.
+	if !c.Asleep(2*sim.Second + 50*sim.Microsecond) {
+		t.Error("core should still be waking")
+	}
+	if c.Asleep(at) {
+		t.Error("core should be awake at the wake deadline")
+	}
+}
+
+func TestWakeAwakeCoreIsFree(t *testing.T) {
+	c := NewCore(0, DefaultLadder())
+	if got := c.WakeUp(5 * sim.Second); got != 5*sim.Second {
+		t.Errorf("waking an awake core returned %v", got)
+	}
+	// Waking mid-wake returns the original deadline.
+	c.Sleep(6*sim.Second, C6)
+	first := c.WakeUp(7 * sim.Second)
+	second := c.WakeUp(7*sim.Second + 10*sim.Microsecond)
+	if second != first {
+		t.Errorf("double wake moved the deadline: %v then %v", first, second)
+	}
+}
+
+func TestSleepToC0Wakes(t *testing.T) {
+	c := NewCore(0, DefaultLadder())
+	c.Sleep(0, C1)
+	c.Sleep(sim.Second, C0)
+	if c.CState() != C0 {
+		t.Errorf("Sleep(C0) left state %v", c.CState())
+	}
+}

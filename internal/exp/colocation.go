@@ -1,0 +1,94 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/deeppower/deeppower/internal/server"
+	"github.com/deeppower/deeppower/internal/sim"
+)
+
+// ColocationResult closes the loop on the paper's §3.1 motivation: a
+// colocated workload (e.g. a batch job sharing the LLC and memory
+// bandwidth) phases in mid-run, inflating service times beyond anything the
+// offline-profiled predictors saw. Prediction-based policies mis-predict and
+// time out; DeepPower's feedback loop observes the slowdown through its
+// state vector and compensates.
+type ColocationResult struct {
+	App     string
+	Methods []string
+	// Results maps method → evaluation under the phasing neighbor.
+	Results map[string]*server.Result
+}
+
+// neighborPhase describes the colocated job: off for the first third of the
+// run, fully on for the middle third, off again for the rest.
+func neighborPhase(duration sim.Time) func(sim.Time) float64 {
+	oneThird := duration / 3
+	return func(t sim.Time) float64 {
+		if t >= oneThird && t < 2*oneThird {
+			return 1.0
+		}
+		return 0
+	}
+}
+
+// Colocation evaluates methods under the phasing neighbor. Predictors are
+// profiled (and DeepPower trained) WITHOUT the neighbor, as in practice:
+// colocation changes after deployment.
+func Colocation(appName string, scale Scale, methods []string) (*ColocationResult, error) {
+	if methods == nil {
+		methods = []string{MethodBaseline, MethodRetail, MethodGemini, MethodDeepPower}
+	}
+	setup, err := NewSetup(appName, scale)
+	if err != nil {
+		return nil, err
+	}
+	out := &ColocationResult{App: appName, Methods: methods, Results: map[string]*server.Result{}}
+	for _, m := range methods {
+		pol, err := setup.BuildPolicy(m)
+		if err != nil {
+			return nil, fmt.Errorf("exp: colocation %s: %w", m, err)
+		}
+		cfg := setup.ServerConfig(scale.Seed + 631)
+		cfg.Interference = neighborPhase(scale.EvalDuration)
+		eng := sim.NewEngine()
+		srv, err := server.New(eng, cfg, pol)
+		if err != nil {
+			return nil, err
+		}
+		res, err := srv.Run(setup.Trace, scale.EvalDuration)
+		if err != nil {
+			return nil, fmt.Errorf("exp: colocation %s: %w", m, err)
+		}
+		out.Results[m] = res
+	}
+	return out, nil
+}
+
+// Table renders the comparison.
+func (r *ColocationResult) Table() *Table {
+	t := &Table{
+		Title:   "Colocation — " + r.App + " (neighbor phases in mid-run)",
+		Columns: []string{"method", "power(W)", "p99(ms)", "timeout %", "SLA met"},
+	}
+	for _, m := range r.Methods {
+		res, ok := r.Results[m]
+		if !ok {
+			continue
+		}
+		t.AddRow(m, f2(res.AvgPowerW), f3(res.Latency.P99*1000),
+			f3(res.TimeoutRate*100), fmt.Sprint(res.SLAMet))
+	}
+	return t
+}
+
+// TimeoutRatio returns a method's timeout rate relative to DeepPower's
+// (NaN when DeepPower was not run or had zero timeouts).
+func (r *ColocationResult) TimeoutRatio(method string) float64 {
+	dp, ok := r.Results[MethodDeepPower]
+	if !ok || dp.TimeoutRate == 0 {
+		return math.NaN()
+	}
+	return r.Results[method].TimeoutRate / dp.TimeoutRate
+}

@@ -1,0 +1,85 @@
+package exp
+
+import (
+	"fmt"
+
+	"github.com/deeppower/deeppower/internal/workload"
+)
+
+// CrossoverResult sweeps the offered peak load and records every method's
+// power at each level — locating where methods' orderings cross (e.g.
+// prediction-based policies excel at low load where slack abounds, while at
+// high load every method converges toward the baseline).
+type CrossoverResult struct {
+	App     string
+	Loads   []float64
+	Methods []string
+	// PowerW[m][i] is method m's power at Loads[i].
+	PowerW map[string][]float64
+	// SLAMet[m][i] reports whether p99 stayed within the SLA.
+	SLAMet map[string][]bool
+}
+
+// CrossoverLoads is the default sweep grid.
+var CrossoverLoads = []float64{0.3, 0.5, 0.7, 0.85}
+
+// Crossover evaluates the methods across constant-rate loads for one app.
+// DeepPower is trained once on the standard diurnal setup and reused at
+// every level (its training distribution covers the swept range).
+func Crossover(appName string, scale Scale, methods []string) (*CrossoverResult, error) {
+	if methods == nil {
+		methods = []string{MethodBaseline, MethodRubik, MethodRetail, MethodGemini, MethodDeepPower}
+	}
+	setup, err := NewSetup(appName, scale)
+	if err != nil {
+		return nil, err
+	}
+	out := &CrossoverResult{
+		App:     appName,
+		Loads:   CrossoverLoads,
+		Methods: methods,
+		PowerW:  map[string][]float64{},
+		SLAMet:  map[string][]bool{},
+	}
+	cap := setup.Prof.MaxCapacity(setup.Prof.RefFreq, scale.Seed)
+	for _, m := range methods {
+		pol, err := setup.BuildPolicy(m)
+		if err != nil {
+			return nil, fmt.Errorf("exp: crossover %s: %w", m, err)
+		}
+		for _, load := range out.Loads {
+			trace := workload.Constant(load*cap, setup.Trace.Period)
+			res, err := runOn(setup, pol, trace, scale)
+			if err != nil {
+				return nil, fmt.Errorf("exp: crossover %s@%v: %w", m, load, err)
+			}
+			out.PowerW[m] = append(out.PowerW[m], res.AvgPowerW)
+			out.SLAMet[m] = append(out.SLAMet[m], res.SLAMet)
+		}
+	}
+	return out, nil
+}
+
+// Table renders power per (method, load); cells carry a * when the SLA was
+// violated at that point.
+func (r *CrossoverResult) Table() *Table {
+	t := &Table{
+		Title:   "Load sweep — " + r.App + " (power W; * = SLA violated)",
+		Columns: []string{"method"},
+	}
+	for _, l := range r.Loads {
+		t.Columns = append(t.Columns, fmt.Sprintf("%d%%", int(l*100)))
+	}
+	for _, m := range r.Methods {
+		row := []string{m}
+		for i := range r.Loads {
+			cell := f2(r.PowerW[m][i])
+			if !r.SLAMet[m][i] {
+				cell += "*"
+			}
+			row = append(row, cell)
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -1,0 +1,78 @@
+package exp
+
+import (
+	"github.com/deeppower/deeppower/internal/app"
+	"github.com/deeppower/deeppower/internal/sim"
+	"github.com/deeppower/deeppower/internal/stats"
+)
+
+// Fig1Result holds the service-time CDFs of Fig. 1: for each application,
+// the CDF of service time divided by its mean, demonstrating the long tail
+// (Moses' tail is ≈ 8× its mean).
+type Fig1Result struct {
+	// Apps maps application name → CDF points over normalized service time.
+	Apps map[string][]stats.CDFPoint
+	// TailOverMean maps application name → p99.9 / mean.
+	TailOverMean map[string]float64
+}
+
+// Fig1 samples each application's request population and builds normalized
+// service-time CDFs. The paper plots Xapian, Masstree, Moses, and Sphinx.
+func Fig1(scale Scale) *Fig1Result {
+	res := &Fig1Result{
+		Apps:         map[string][]stats.CDFPoint{},
+		TailOverMean: map[string]float64{},
+	}
+	for _, name := range []string{app.Xapian, app.Masstree, app.Moses, app.Sphinx} {
+		prof := app.MustByName(name)
+		rng := sim.NewRNG(scale.Seed).Stream("fig1-" + name)
+		xs := make([]float64, scale.Samples)
+		for i := range xs {
+			xs[i] = prof.Sampler.Sample(rng).ServiceRef.Seconds()
+		}
+		mean := stats.Mean(xs)
+		norm := make([]float64, len(xs))
+		for i, x := range xs {
+			norm[i] = x / mean
+		}
+		res.Apps[name] = stats.CDF(norm, 200)
+		res.TailOverMean[name] = stats.Percentile(norm, 99.9)
+	}
+	return res
+}
+
+// Table renders the tail/mean summary.
+func (r *Fig1Result) Table() *Table {
+	t := &Table{
+		Title:   "Fig. 1 — service-time skew (normalized to mean)",
+		Columns: []string{"app", "p50/mean", "p99/mean", "p99.9/mean"},
+	}
+	for _, name := range []string{app.Xapian, app.Masstree, app.Moses, app.Sphinx} {
+		cdf := r.Apps[name]
+		t.AddRow(name, f2(quantileOf(cdf, 0.50)), f2(quantileOf(cdf, 0.99)), f2(r.TailOverMean[name]))
+	}
+	return t
+}
+
+// CSVCurves renders all CDF curves as long-form CSV (app, x, p).
+func (r *Fig1Result) CSVCurves() string {
+	t := &Table{Columns: []string{"app", "service_over_mean", "cdf"}}
+	for _, name := range []string{app.Xapian, app.Masstree, app.Moses, app.Sphinx} {
+		for _, pt := range r.Apps[name] {
+			t.AddRow(name, f(pt.X), f(pt.P))
+		}
+	}
+	return t.CSV()
+}
+
+func quantileOf(cdf []stats.CDFPoint, p float64) float64 {
+	for _, pt := range cdf {
+		if pt.P >= p {
+			return pt.X
+		}
+	}
+	if len(cdf) == 0 {
+		return 0
+	}
+	return cdf[len(cdf)-1].X
+}

@@ -1,0 +1,135 @@
+package exp
+
+import (
+	"fmt"
+
+	"github.com/deeppower/deeppower/internal/app"
+	"github.com/deeppower/deeppower/internal/control"
+	"github.com/deeppower/deeppower/internal/server"
+	"github.com/deeppower/deeppower/internal/sim"
+)
+
+// FreqTraceResult wraps a recorded per-tick frequency trace with request
+// lifecycle markers — the raw material behind the paper's Figs. 4, 9, 10
+// and 11.
+type FreqTraceResult struct {
+	App    string
+	Method string
+	Trace  *server.FreqTrace
+}
+
+// Fig4 records 2 seconds of millisecond-level frequency under the thread
+// controller with DRL-updated parameters (a trained DeepPower policy on
+// Xapian), reproducing Fig. 4's sawtooth ramps between request begin/end
+// markers.
+func Fig4(scale Scale) (*FreqTraceResult, error) {
+	return methodFreqTrace(app.Xapian, MethodDeepPower, scale, 2*sim.Second)
+}
+
+// Fig9 records the same window under a chosen method for Xapian
+// (millisecond-scale latency; the paper contrasts DeepPower's gradual ramps
+// with ReTail's and Gemini's coarse per-request selections).
+func Fig9(method string, scale Scale) (*FreqTraceResult, error) {
+	return methodFreqTrace(app.Xapian, method, scale, 2*sim.Second)
+}
+
+// Fig10 records Sphinx (second-scale latency) under a chosen method.
+func Fig10(method string, scale Scale) (*FreqTraceResult, error) {
+	return methodFreqTrace(app.Sphinx, method, scale, 10*sim.Second)
+}
+
+func methodFreqTrace(appName, method string, scale Scale, window sim.Time) (*FreqTraceResult, error) {
+	setup, err := NewSetup(appName, scale)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := setup.BuildPolicy(method)
+	if err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	srv, err := server.New(eng, setup.ServerConfig(scale.Seed+31), pol)
+	if err != nil {
+		return nil, err
+	}
+	// Place the window mid-run, past warmup, inside a rising-load phase.
+	from := scale.EvalDuration / 3
+	ft := srv.EnableFreqTrace(from, from+window)
+	if _, err := srv.Run(setup.Trace, from+window+sim.Second); err != nil {
+		return nil, err
+	}
+	return &FreqTraceResult{App: appName, Method: method, Trace: ft}, nil
+}
+
+// Fig11Settings are the fixed (BaseFreq, ScalingCoef) pairs of Fig. 11.
+var Fig11Settings = []control.Params{
+	{BaseFreq: 0.4, ScalingCoef: 1.0},
+	{BaseFreq: 0.5, ScalingCoef: 0.75},
+	{BaseFreq: 0.6, ScalingCoef: 0.5},
+}
+
+// Fig11Result holds one frequency heatmap per fixed parameter setting.
+type Fig11Result struct {
+	Settings []control.Params
+	Traces   []*server.FreqTrace
+}
+
+// Fig11 runs Xapian under the bare thread controller with each fixed
+// parameter pair and records a 50 ms window of per-core frequencies.
+func Fig11(scale Scale) (*Fig11Result, error) {
+	out := &Fig11Result{Settings: Fig11Settings}
+	for _, params := range Fig11Settings {
+		setup, err := NewSetup(app.Xapian, scale)
+		if err != nil {
+			return nil, err
+		}
+		tc := control.NewThreadController(params)
+		eng := sim.NewEngine()
+		srv, err := server.New(eng, setup.ServerConfig(scale.Seed+7), tc)
+		if err != nil {
+			return nil, err
+		}
+		from := scale.EvalDuration / 3
+		ft := srv.EnableFreqTrace(from, from+50*sim.Millisecond)
+		if _, err := srv.Run(setup.Trace, from+51*sim.Millisecond+sim.Second); err != nil {
+			return nil, err
+		}
+		out.Traces = append(out.Traces, ft)
+	}
+	return out, nil
+}
+
+// Summary reduces a frequency trace to per-core mean frequency plus marker
+// counts, for table rendering.
+func (r *FreqTraceResult) Summary() *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("%s/%s — frequency trace summary", r.App, r.Method),
+		Columns: []string{"metric", "value"},
+	}
+	t.AddRow("samples", f(float64(len(r.Trace.Times))))
+	t.AddRow("request begins", f(float64(len(r.Trace.Begins))))
+	t.AddRow("request ends", f(float64(len(r.Trace.Ends))))
+	var sum float64
+	var n int
+	for _, row := range r.Trace.Freqs {
+		for _, fr := range row {
+			sum += fr
+			n++
+		}
+	}
+	if n > 0 {
+		t.AddRow("mean freq (GHz)", f3(sum/float64(n)))
+	}
+	return t
+}
+
+// CSVFreqTrace renders any FreqTrace as long-form CSV (t, core, ghz).
+func CSVFreqTrace(ft *server.FreqTrace) string {
+	t := &Table{Columns: []string{"t_s", "core", "freq_ghz"}}
+	for i, tm := range ft.Times {
+		for c, fr := range ft.Freqs[i] {
+			t.AddRow(f(tm.Seconds()), f(float64(c)), f(fr))
+		}
+	}
+	return t.CSV()
+}

@@ -1,0 +1,79 @@
+package exp
+
+import (
+	"github.com/deeppower/deeppower/internal/agent"
+	"github.com/deeppower/deeppower/internal/workload"
+)
+
+// Fig5Result is the scaleFunc curve of Fig. 5 (η = 100): near zero below
+// the threshold, rising to 1 above it, with the change point near x = η.
+type Fig5Result struct {
+	Eta float64
+	X   []float64
+	Y   []float64
+}
+
+// Fig5 evaluates scaleFunc over a log-ish grid.
+func Fig5(eta float64) *Fig5Result {
+	if eta == 0 {
+		eta = 100
+	}
+	r := &Fig5Result{Eta: eta}
+	for x := 0.0; x <= 10*eta; x += eta / 20 {
+		r.X = append(r.X, x)
+		r.Y = append(r.Y, agent.ScaleFunc(x, eta))
+	}
+	return r
+}
+
+// Table renders selected points.
+func (r *Fig5Result) Table() *Table {
+	t := &Table{
+		Title:   "Fig. 5 — scaleFunc(x), η = 100",
+		Columns: []string{"x", "scaleFunc"},
+	}
+	for i := 0; i < len(r.X); i += 20 {
+		t.AddRow(f(r.X[i]), f3(r.Y[i]))
+	}
+	return t
+}
+
+// CSVCurve renders the full curve.
+func (r *Fig5Result) CSVCurve() string {
+	t := &Table{Columns: []string{"x", "scalefunc"}}
+	for i := range r.X {
+		t.AddRow(f(r.X[i]), f(r.Y[i]))
+	}
+	return t.CSV()
+}
+
+// Fig6Result is the dynamic workload trace of Fig. 6: the diurnal
+// e-commerce RPS pattern, downsampled to one period (§5.2).
+type Fig6Result struct {
+	Trace *workload.Trace
+}
+
+// Fig6 synthesizes the evaluation trace.
+func Fig6(scale Scale) *Fig6Result {
+	cfg := workload.DefaultDiurnal()
+	cfg.Period = scale.TracePeriod
+	cfg.Buckets = int(scale.TracePeriod.Seconds())
+	if cfg.Buckets < 10 {
+		cfg.Buckets = 10
+	}
+	cfg.Seed = scale.Seed
+	return &Fig6Result{Trace: workload.Diurnal(cfg)}
+}
+
+// Table summarizes the trace.
+func (r *Fig6Result) Table() *Table {
+	t := &Table{
+		Title:   "Fig. 6 — dynamic workload (diurnal e-commerce trace)",
+		Columns: []string{"metric", "value"},
+	}
+	t.AddRow("period (s)", f(r.Trace.Period.Seconds()))
+	t.AddRow("buckets", f(float64(len(r.Trace.Rates))))
+	t.AddRow("mean RPS", f2(r.Trace.MeanRate()))
+	t.AddRow("peak RPS", f2(r.Trace.MaxRate()))
+	return t
+}

@@ -1,0 +1,117 @@
+package exp
+
+import (
+	"fmt"
+
+	"github.com/deeppower/deeppower/internal/server"
+	"github.com/deeppower/deeppower/internal/sim"
+	"github.com/deeppower/deeppower/internal/workload"
+)
+
+// GeneralizationResult backs the paper's §1 claim that DeepPower "can be
+// generalized to different scenarios": a policy trained once on the diurnal
+// trace is evaluated unchanged on workload shapes it never saw (a different
+// diurnal seed, a square-wave load shift, a flash-crowd spike), with the
+// no-management baseline on the same traces as the reference.
+type GeneralizationResult struct {
+	App       string
+	Scenarios []string
+	// DeepPower and Baseline map scenario → result.
+	DeepPower map[string]*server.Result
+	Baseline  map[string]*server.Result
+}
+
+// Generalization trains DeepPower on appName's standard diurnal setup and
+// evaluates the frozen policy across shifted workloads.
+func Generalization(appName string, scale Scale) (*GeneralizationResult, error) {
+	setup, err := NewSetup(appName, scale)
+	if err != nil {
+		return nil, err
+	}
+	dp, err := setup.TrainDeepPower()
+	if err != nil {
+		return nil, err
+	}
+
+	peak := setup.Trace.MaxRate()
+	period := setup.Trace.Period
+	shiftedDiurnal := workload.Diurnal(workload.DiurnalConfig{
+		Period:    period,
+		Buckets:   len(setup.Trace.Rates),
+		BaseRPS:   1,
+		PeakRPS:   3,
+		NoiseFrac: 0.08,
+		BurstProb: 0.03,
+		BurstMul:  1.3,
+		Seed:      scale.Seed + 555,
+	}).ScaleToPeak(peak)
+
+	scenarios := []struct {
+		name  string
+		trace *workload.Trace
+	}{
+		{"diurnal-shifted-seed", shiftedDiurnal},
+		{"step", workload.Step(peak*0.25, peak, period, len(setup.Trace.Rates))},
+		{"spike", workload.Spike(peak*0.3, peak, period, len(setup.Trace.Rates), 0.1)},
+	}
+
+	out := &GeneralizationResult{
+		App:       appName,
+		DeepPower: map[string]*server.Result{},
+		Baseline:  map[string]*server.Result{},
+	}
+	for _, sc := range scenarios {
+		out.Scenarios = append(out.Scenarios, sc.name)
+		dpRes, err := runOn(setup, dp, sc.trace, scale)
+		if err != nil {
+			return nil, fmt.Errorf("exp: generalization %s: %w", sc.name, err)
+		}
+		baseline, err := setup.BuildPolicy(MethodBaseline)
+		if err != nil {
+			return nil, err
+		}
+		baseRes, err := runOn(setup, baseline, sc.trace, scale)
+		if err != nil {
+			return nil, fmt.Errorf("exp: generalization %s baseline: %w", sc.name, err)
+		}
+		out.DeepPower[sc.name] = dpRes
+		out.Baseline[sc.name] = baseRes
+	}
+	return out, nil
+}
+
+func runOn(setup *Setup, pol server.Policy, trace *workload.Trace, scale Scale) (*server.Result, error) {
+	eng := sim.NewEngine()
+	srv, err := server.New(eng, setup.ServerConfig(scale.Seed+271), pol)
+	if err != nil {
+		return nil, err
+	}
+	return srv.Run(trace, scale.EvalDuration)
+}
+
+// Saving returns DeepPower's power saving vs baseline for one scenario.
+func (r *GeneralizationResult) Saving(scenario string) float64 {
+	base := r.Baseline[scenario].AvgPowerW
+	if base == 0 {
+		return 0
+	}
+	return 1 - r.DeepPower[scenario].AvgPowerW/base
+}
+
+// Table renders the comparison.
+func (r *GeneralizationResult) Table() *Table {
+	t := &Table{
+		Title:   "Generalization — " + r.App + " (trained on diurnal only)",
+		Columns: []string{"scenario", "dp power(W)", "base power(W)", "saving", "dp p99(ms)", "dp timeout %"},
+	}
+	for _, sc := range r.Scenarios {
+		dp := r.DeepPower[sc]
+		t.AddRow(sc,
+			f2(dp.AvgPowerW),
+			f2(r.Baseline[sc].AvgPowerW),
+			f2(r.Saving(sc)*100)+"%",
+			f3(dp.Latency.P99*1000),
+			f3(dp.TimeoutRate*100))
+	}
+	return t
+}

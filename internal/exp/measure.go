@@ -1,0 +1,27 @@
+package exp
+
+import (
+	"time"
+
+	"github.com/deeppower/deeppower/internal/cpu"
+	"github.com/deeppower/deeppower/internal/sim"
+)
+
+// measureFreqSet times the simulator's per-core frequency actuation path.
+// On real hardware this is a sysfs write the paper measures at < 10 µs; in
+// the simulator it is the core state machine update.
+func measureFreqSet() float64 {
+	core := cpu.NewCore(0, cpu.DefaultLadder())
+	const iters = 100000
+	now := sim.Time(0)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		now += sim.Millisecond
+		if i%2 == 0 {
+			core.SetFreq(now, 1.0)
+		} else {
+			core.SetFreq(now, 2.0)
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / 1000 / iters
+}

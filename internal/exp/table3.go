@@ -1,0 +1,79 @@
+package exp
+
+import (
+	"fmt"
+
+	"github.com/deeppower/deeppower/internal/app"
+	"github.com/deeppower/deeppower/internal/baselines"
+	"github.com/deeppower/deeppower/internal/server"
+	"github.com/deeppower/deeppower/internal/sim"
+	"github.com/deeppower/deeppower/internal/workload"
+)
+
+// Table3Loads are the paper's load levels.
+var Table3Loads = []float64{0.2, 0.5, 0.7}
+
+// Table3Result reproduces Table 3: per-application SLA and 99th-percentile
+// latency at 20/50/70% load, running at the reference (maximum non-turbo)
+// frequency without power management.
+type Table3Result struct {
+	// P99ms maps app name → measured p99 latency (ms) per load level.
+	P99ms map[string][]float64
+	// SLAms echoes each app's SLA.
+	SLAms map[string]float64
+}
+
+// Table3 measures every built-in application. Workers from scale override
+// the paper's counts for quick runs.
+func Table3(scale Scale) (*Table3Result, error) {
+	res := &Table3Result{P99ms: map[string][]float64{}, SLAms: map[string]float64{}}
+	for _, name := range app.Names() {
+		prof := app.MustByName(name)
+		if scale.Workers > 0 {
+			prof.Workers = scale.Workers
+		}
+		res.SLAms[name] = prof.SLA.Milliseconds()
+		for _, load := range Table3Loads {
+			rate := load * prof.MaxCapacity(prof.RefFreq, scale.Seed)
+			// Aim for enough completions to resolve a p99; cap the
+			// virtual duration for the second-scale apps.
+			dur := sim.Seconds(20000 / rate)
+			if dur > 100*sim.Second {
+				dur = 100 * sim.Second
+			}
+			if dur < 10*sim.Second {
+				dur = 10 * sim.Second
+			}
+			eng := sim.NewEngine()
+			srv, err := server.New(eng, server.Config{App: prof, Seed: scale.Seed},
+				baselines.NewFixedFreq(prof.RefFreq))
+			if err != nil {
+				return nil, err
+			}
+			r, err := srv.Run(workload.Constant(rate, sim.Second), dur)
+			if err != nil {
+				return nil, fmt.Errorf("exp: table3 %s at %v: %w", name, load, err)
+			}
+			res.P99ms[name] = append(res.P99ms[name], r.Latency.P99*1000)
+		}
+	}
+	return res, nil
+}
+
+// Table renders measured vs. paper numbers.
+func (r *Table3Result) Table() *Table {
+	t := &Table{
+		Title: "Table 3 — p99 latency (ms) at 20/50/70% load, max frequency",
+		Columns: []string{"app", "SLA(ms)",
+			"20% meas", "20% paper", "50% meas", "50% paper", "70% meas", "70% paper"},
+	}
+	for _, name := range app.Names() {
+		paper := app.PaperTable3[name]
+		row := []string{name, f(r.SLAms[name])}
+		for i := range Table3Loads {
+			row = append(row, f3(r.P99ms[name][i]), f3(paper.P99ms[i]))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -1,0 +1,202 @@
+// Package nn is a from-scratch dense neural-network library with manual
+// backpropagation — the substitute for the PyTorch models in the paper's
+// implementation (§4.6). The paper's networks are tiny MLPs (the actor has
+// ~2k parameters), so fully-connected layers, ReLU/sigmoid/tanh activations,
+// SGD/Adam, and soft target updates cover everything DDPG, DQN, DDQN and SAC
+// need.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/deeppower/deeppower/internal/sim"
+)
+
+// Activation selects a layer's nonlinearity.
+type Activation int
+
+// Supported activations.
+const (
+	Identity Activation = iota
+	ReLU
+	Sigmoid
+	Tanh
+)
+
+// String returns the activation's name.
+func (a Activation) String() string {
+	switch a {
+	case Identity:
+		return "identity"
+	case ReLU:
+		return "relu"
+	case Sigmoid:
+		return "sigmoid"
+	case Tanh:
+		return "tanh"
+	}
+	return fmt.Sprintf("activation(%d)", int(a))
+}
+
+// Apply evaluates the activation.
+func (a Activation) Apply(x float64) float64 {
+	switch a {
+	case ReLU:
+		if x < 0 {
+			return 0
+		}
+		return x
+	case Sigmoid:
+		return 1 / (1 + math.Exp(-x))
+	case Tanh:
+		return math.Tanh(x)
+	default:
+		return x
+	}
+}
+
+// DerivFromOutput returns dσ/dx expressed in terms of the activation's
+// output y = σ(x). All supported activations admit this form, which lets
+// layers cache only their outputs.
+func (a Activation) DerivFromOutput(y float64) float64 {
+	switch a {
+	case ReLU:
+		if y > 0 {
+			return 1
+		}
+		return 0
+	case Sigmoid:
+		return y * (1 - y)
+	case Tanh:
+		return 1 - y*y
+	default:
+		return 1
+	}
+}
+
+// Dense is one fully-connected layer y = σ(Wx + b) with gradient
+// accumulation. It is not safe for concurrent use: Forward caches the
+// activations Backward consumes.
+type Dense struct {
+	In, Out int
+	W       []float64 // Out×In, row-major
+	B       []float64
+	Act     Activation
+
+	// Accumulated gradients (same shapes as W, B).
+	GW, GB []float64
+
+	// Forward cache.
+	x, y []float64
+}
+
+// NewDense returns a layer with Xavier/Glorot-uniform initialized weights.
+func NewDense(in, out int, act Activation, rng *sim.RNG) *Dense {
+	if in <= 0 || out <= 0 {
+		panic(fmt.Sprintf("nn: invalid layer shape %d→%d", in, out))
+	}
+	d := &Dense{
+		In: in, Out: out, Act: act,
+		W:  make([]float64, in*out),
+		B:  make([]float64, out),
+		GW: make([]float64, in*out),
+		GB: make([]float64, out),
+		x:  make([]float64, in),
+		y:  make([]float64, out),
+	}
+	limit := math.Sqrt(6.0 / float64(in+out))
+	for i := range d.W {
+		d.W[i] = rng.Uniform(-limit, limit)
+	}
+	return d
+}
+
+// Forward computes the layer output for input x and caches both for
+// Backward. The returned slice is reused between calls; copy it to retain.
+func (d *Dense) Forward(x []float64) []float64 {
+	if len(x) != d.In {
+		panic(fmt.Sprintf("nn: Forward input %d, layer expects %d", len(x), d.In))
+	}
+	copy(d.x, x)
+	for o := 0; o < d.Out; o++ {
+		sum := d.B[o]
+		row := d.W[o*d.In : (o+1)*d.In]
+		for i, xi := range x {
+			sum += row[i] * xi
+		}
+		d.y[o] = d.Act.Apply(sum)
+	}
+	return d.y
+}
+
+// Backward takes dL/dy (w.r.t. the post-activation output of the most
+// recent Forward), accumulates dL/dW and dL/db, and returns dL/dx.
+// The returned slice is freshly allocated.
+func (d *Dense) Backward(dy []float64) []float64 {
+	if len(dy) != d.Out {
+		panic(fmt.Sprintf("nn: Backward gradient %d, layer outputs %d", len(dy), d.Out))
+	}
+	dx := make([]float64, d.In)
+	for o := 0; o < d.Out; o++ {
+		delta := dy[o] * d.Act.DerivFromOutput(d.y[o])
+		d.GB[o] += delta
+		row := d.W[o*d.In : (o+1)*d.In]
+		grow := d.GW[o*d.In : (o+1)*d.In]
+		for i := 0; i < d.In; i++ {
+			grow[i] += delta * d.x[i]
+			dx[i] += delta * row[i]
+		}
+	}
+	return dx
+}
+
+// ZeroGrad clears accumulated gradients.
+func (d *Dense) ZeroGrad() {
+	for i := range d.GW {
+		d.GW[i] = 0
+	}
+	for i := range d.GB {
+		d.GB[i] = 0
+	}
+}
+
+// NumParams returns the number of trainable parameters.
+func (d *Dense) NumParams() int { return len(d.W) + len(d.B) }
+
+// Clone returns a deep copy of the layer (weights only; caches fresh).
+func (d *Dense) Clone() *Dense {
+	c := &Dense{
+		In: d.In, Out: d.Out, Act: d.Act,
+		W:  append([]float64(nil), d.W...),
+		B:  append([]float64(nil), d.B...),
+		GW: make([]float64, len(d.GW)),
+		GB: make([]float64, len(d.GB)),
+		x:  make([]float64, d.In),
+		y:  make([]float64, d.Out),
+	}
+	return c
+}
+
+// CopyFrom overwrites this layer's weights with src's.
+func (d *Dense) CopyFrom(src *Dense) {
+	if d.In != src.In || d.Out != src.Out {
+		panic("nn: CopyFrom shape mismatch")
+	}
+	copy(d.W, src.W)
+	copy(d.B, src.B)
+}
+
+// SoftUpdateFrom blends src into this layer:
+// θ ← τ·θ_src + (1-τ)·θ. This is the DDPG target-network update.
+func (d *Dense) SoftUpdateFrom(src *Dense, tau float64) {
+	if d.In != src.In || d.Out != src.Out {
+		panic("nn: SoftUpdateFrom shape mismatch")
+	}
+	for i := range d.W {
+		d.W[i] = tau*src.W[i] + (1-tau)*d.W[i]
+	}
+	for i := range d.B {
+		d.B[i] = tau*src.B[i] + (1-tau)*d.B[i]
+	}
+}

@@ -1,0 +1,168 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/deeppower/deeppower/internal/sim"
+)
+
+// MLP is a stack of Dense layers.
+type MLP struct {
+	Layers []*Dense
+}
+
+// NewMLP builds a network with the given layer sizes, hidden activation for
+// every layer but the last, and out activation on the final layer.
+// sizes must contain at least [in, out].
+func NewMLP(sizes []int, hidden, out Activation, rng *sim.RNG) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: MLP needs at least input and output sizes")
+	}
+	m := &MLP{}
+	for i := 0; i+1 < len(sizes); i++ {
+		act := hidden
+		if i+2 == len(sizes) {
+			act = out
+		}
+		m.Layers = append(m.Layers, NewDense(sizes[i], sizes[i+1], act, rng))
+	}
+	return m
+}
+
+// Forward evaluates the network. The returned slice aliases the last
+// layer's buffer; copy it to retain across calls.
+func (m *MLP) Forward(x []float64) []float64 {
+	for _, l := range m.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward propagates dL/dy of the most recent Forward through the network,
+// accumulating parameter gradients, and returns dL/dinput.
+func (m *MLP) Backward(dy []float64) []float64 {
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		dy = m.Layers[i].Backward(dy)
+	}
+	return dy
+}
+
+// ZeroGrad clears gradients on every layer.
+func (m *MLP) ZeroGrad() {
+	for _, l := range m.Layers {
+		l.ZeroGrad()
+	}
+}
+
+// NumParams returns the total number of trainable parameters.
+func (m *MLP) NumParams() int {
+	n := 0
+	for _, l := range m.Layers {
+		n += l.NumParams()
+	}
+	return n
+}
+
+// InDim and OutDim report the network's input and output widths.
+func (m *MLP) InDim() int { return m.Layers[0].In }
+
+// OutDim reports the network's output width.
+func (m *MLP) OutDim() int { return m.Layers[len(m.Layers)-1].Out }
+
+// Clone deep-copies the network.
+func (m *MLP) Clone() *MLP {
+	c := &MLP{}
+	for _, l := range m.Layers {
+		c.Layers = append(c.Layers, l.Clone())
+	}
+	return c
+}
+
+// CopyFrom overwrites weights with src's (hard target update).
+func (m *MLP) CopyFrom(src *MLP) {
+	if len(m.Layers) != len(src.Layers) {
+		panic("nn: CopyFrom layer count mismatch")
+	}
+	for i, l := range m.Layers {
+		l.CopyFrom(src.Layers[i])
+	}
+}
+
+// SoftUpdateFrom blends src into the network: θ ← τ·θ_src + (1-τ)·θ.
+func (m *MLP) SoftUpdateFrom(src *MLP, tau float64) {
+	if len(m.Layers) != len(src.Layers) {
+		panic("nn: SoftUpdateFrom layer count mismatch")
+	}
+	for i, l := range m.Layers {
+		l.SoftUpdateFrom(src.Layers[i], tau)
+	}
+}
+
+// snapshot is the serialized form of a network.
+type snapshot struct {
+	Layers []layerSnapshot `json:"layers"`
+}
+
+type layerSnapshot struct {
+	In  int        `json:"in"`
+	Out int        `json:"out"`
+	Act Activation `json:"act"`
+	W   []float64  `json:"w"`
+	B   []float64  `json:"b"`
+}
+
+// Save writes the network weights as JSON.
+func (m *MLP) Save(w io.Writer) error {
+	var s snapshot
+	for _, l := range m.Layers {
+		s.Layers = append(s.Layers, layerSnapshot{
+			In: l.In, Out: l.Out, Act: l.Act, W: l.W, B: l.B,
+		})
+	}
+	return json.NewEncoder(w).Encode(s)
+}
+
+// Load reads a network saved by Save.
+func Load(r io.Reader) (*MLP, error) {
+	var s snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("nn: decoding network: %w", err)
+	}
+	if len(s.Layers) == 0 {
+		return nil, fmt.Errorf("nn: empty network snapshot")
+	}
+	m := &MLP{}
+	for i, ls := range s.Layers {
+		if ls.In <= 0 || ls.Out <= 0 || len(ls.W) != ls.In*ls.Out || len(ls.B) != ls.Out {
+			return nil, fmt.Errorf("nn: malformed layer %d in snapshot", i)
+		}
+		d := &Dense{
+			In: ls.In, Out: ls.Out, Act: ls.Act,
+			W: ls.W, B: ls.B,
+			GW: make([]float64, len(ls.W)),
+			GB: make([]float64, len(ls.B)),
+			x:  make([]float64, ls.In),
+			y:  make([]float64, ls.Out),
+		}
+		m.Layers = append(m.Layers, d)
+	}
+	return m, nil
+}
+
+// MSE returns the mean squared error between pred and target and writes
+// dL/dpred into grad (all three must share a length).
+func MSE(pred, target, grad []float64) float64 {
+	if len(pred) != len(target) || len(grad) != len(pred) {
+		panic("nn: MSE length mismatch")
+	}
+	loss := 0.0
+	n := float64(len(pred))
+	for i := range pred {
+		d := pred[i] - target[i]
+		loss += d * d / n
+		grad[i] = 2 * d / n
+	}
+	return loss
+}

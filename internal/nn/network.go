@@ -1,0 +1,58 @@
+package nn
+
+import (
+	"bytes"
+	"io"
+)
+
+// Network abstracts a trainable feed-forward network so agents can swap
+// topologies (the sequential MLP, or the paper's two-headed actor).
+type Network interface {
+	// Forward evaluates the network; the result aliases internal buffers.
+	Forward(x []float64) []float64
+	// Backward propagates dL/dy of the latest Forward and accumulates
+	// parameter gradients, returning dL/dinput.
+	Backward(dy []float64) []float64
+	// ZeroGrad clears accumulated gradients.
+	ZeroGrad()
+	// NumParams counts trainable parameters.
+	NumParams() int
+	// Params exposes the trainable layers for optimizers.
+	Params() []*Dense
+	// CloneNet deep-copies the network.
+	CloneNet() Network
+	// SoftUpdateNet blends src (of the same concrete type) into this
+	// network: θ ← τ·θ_src + (1−τ)·θ.
+	SoftUpdateNet(src Network, tau float64)
+	// Save serializes the weights.
+	Save(w io.Writer) error
+	// InDim and OutDim report input/output widths.
+	InDim() int
+	OutDim() int
+}
+
+// Params implements Network.
+func (m *MLP) Params() []*Dense { return m.Layers }
+
+// CloneNet implements Network.
+func (m *MLP) CloneNet() Network { return m.Clone() }
+
+// SoftUpdateNet implements Network. src must be an *MLP of the same shape.
+func (m *MLP) SoftUpdateNet(src Network, tau float64) {
+	m.SoftUpdateFrom(src.(*MLP), tau)
+}
+
+var _ Network = (*MLP)(nil)
+
+// LoadAny reads a network saved by MLP.Save or TwoHead.Save, detecting the
+// topology from the serialized form.
+func LoadAny(r io.Reader) (Network, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if m, err := Load(bytes.NewReader(data)); err == nil {
+		return m, nil
+	}
+	return LoadTwoHead(bytes.NewReader(data))
+}

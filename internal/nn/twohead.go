@@ -1,0 +1,245 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/deeppower/deeppower/internal/sim"
+)
+
+// TwoHead is the actor topology the paper describes in §4.6 and Fig. 3:
+// "the input state passes the first shared fully-connected layer and then
+// gets through two separate fully-connected layers", one head per action
+// component (BaseFreq, ScalingCoef), each ending in a sigmoid.
+//
+// The default geometry — a shared 8→32→24 trunk and two 24→16→1 heads —
+// lands at ~1.9k parameters, matching the paper's quoted ~2096 (§5.5).
+type TwoHead struct {
+	Trunk []*Dense   // shared layers
+	Heads [][]*Dense // one stack per output component
+
+	trunkOut []float64
+	out      []float64
+}
+
+// NewTwoHead builds a two-headed network: in → trunk sizes → per-head sizes
+// → 1 output per head, ReLU throughout and the given activation on each
+// head's final layer.
+func NewTwoHead(in int, trunk, head []int, heads int, outAct Activation, rng *sim.RNG) *TwoHead {
+	if heads < 1 {
+		panic("nn: TwoHead needs at least one head")
+	}
+	t := &TwoHead{out: make([]float64, heads)}
+	prev := in
+	for _, size := range trunk {
+		t.Trunk = append(t.Trunk, NewDense(prev, size, ReLU, rng))
+		prev = size
+	}
+	trunkDim := prev
+	for h := 0; h < heads; h++ {
+		var stack []*Dense
+		prev = trunkDim
+		for _, size := range head {
+			stack = append(stack, NewDense(prev, size, ReLU, rng))
+			prev = size
+		}
+		stack = append(stack, NewDense(prev, 1, outAct, rng))
+		t.Heads = append(t.Heads, stack)
+	}
+	return t
+}
+
+// NewPaperActor returns the actor of §4.6: state dim in, two sigmoid heads,
+// shared 32→24 trunk, 16-unit heads.
+func NewPaperActor(in int, rng *sim.RNG) *TwoHead {
+	return NewTwoHead(in, []int{32, 24}, []int{16}, 2, Sigmoid, rng)
+}
+
+// InDim implements Network.
+func (t *TwoHead) InDim() int {
+	if len(t.Trunk) > 0 {
+		return t.Trunk[0].In
+	}
+	return t.Heads[0][0].In
+}
+
+// OutDim implements Network.
+func (t *TwoHead) OutDim() int { return len(t.Heads) }
+
+// Forward implements Network.
+func (t *TwoHead) Forward(x []float64) []float64 {
+	for _, l := range t.Trunk {
+		x = l.Forward(x)
+	}
+	// Each head must cache its own input; the trunk output is shared.
+	if len(t.trunkOut) != len(x) {
+		t.trunkOut = make([]float64, len(x))
+	}
+	copy(t.trunkOut, x)
+	for h, stack := range t.Heads {
+		y := t.trunkOut
+		for _, l := range stack {
+			y = l.Forward(y)
+		}
+		t.out[h] = y[0]
+	}
+	return t.out
+}
+
+// Backward implements Network: dy has one gradient per head output.
+func (t *TwoHead) Backward(dy []float64) []float64 {
+	if len(dy) != len(t.Heads) {
+		panic(fmt.Sprintf("nn: TwoHead.Backward gradient %d, want %d", len(dy), len(t.Heads)))
+	}
+	// Heads must be re-forwarded if another head ran after them; with the
+	// shared trunk output cached, replay each head before backprop so its
+	// layer caches are fresh.
+	var dTrunkOut []float64
+	for h, stack := range t.Heads {
+		y := t.trunkOut
+		for _, l := range stack {
+			y = l.Forward(y)
+		}
+		g := []float64{dy[h]}
+		for i := len(stack) - 1; i >= 0; i-- {
+			g = stack[i].Backward(g)
+		}
+		if dTrunkOut == nil {
+			dTrunkOut = g
+		} else {
+			for i := range dTrunkOut {
+				dTrunkOut[i] += g[i]
+			}
+		}
+	}
+	g := dTrunkOut
+	for i := len(t.Trunk) - 1; i >= 0; i-- {
+		g = t.Trunk[i].Backward(g)
+	}
+	return g
+}
+
+// ZeroGrad implements Network.
+func (t *TwoHead) ZeroGrad() {
+	for _, l := range t.Params() {
+		l.ZeroGrad()
+	}
+}
+
+// Params implements Network.
+func (t *TwoHead) Params() []*Dense {
+	var out []*Dense
+	out = append(out, t.Trunk...)
+	for _, stack := range t.Heads {
+		out = append(out, stack...)
+	}
+	return out
+}
+
+// NumParams implements Network.
+func (t *TwoHead) NumParams() int {
+	n := 0
+	for _, l := range t.Params() {
+		n += l.NumParams()
+	}
+	return n
+}
+
+// CloneNet implements Network.
+func (t *TwoHead) CloneNet() Network {
+	c := &TwoHead{out: make([]float64, len(t.out))}
+	for _, l := range t.Trunk {
+		c.Trunk = append(c.Trunk, l.Clone())
+	}
+	for _, stack := range t.Heads {
+		var cs []*Dense
+		for _, l := range stack {
+			cs = append(cs, l.Clone())
+		}
+		c.Heads = append(c.Heads, cs)
+	}
+	return c
+}
+
+// SoftUpdateNet implements Network. src must be a *TwoHead of equal shape.
+func (t *TwoHead) SoftUpdateNet(src Network, tau float64) {
+	s := src.(*TwoHead)
+	mine, theirs := t.Params(), s.Params()
+	if len(mine) != len(theirs) {
+		panic("nn: TwoHead soft update shape mismatch")
+	}
+	for i := range mine {
+		mine[i].SoftUpdateFrom(theirs[i], tau)
+	}
+}
+
+// twoHeadSnapshot serializes a TwoHead.
+type twoHeadSnapshot struct {
+	Trunk []layerSnapshot   `json:"trunk"`
+	Heads [][]layerSnapshot `json:"heads"`
+}
+
+// Save implements Network.
+func (t *TwoHead) Save(w io.Writer) error {
+	var s twoHeadSnapshot
+	for _, l := range t.Trunk {
+		s.Trunk = append(s.Trunk, layerSnapshot{In: l.In, Out: l.Out, Act: l.Act, W: l.W, B: l.B})
+	}
+	for _, stack := range t.Heads {
+		var hs []layerSnapshot
+		for _, l := range stack {
+			hs = append(hs, layerSnapshot{In: l.In, Out: l.Out, Act: l.Act, W: l.W, B: l.B})
+		}
+		s.Heads = append(s.Heads, hs)
+	}
+	return json.NewEncoder(w).Encode(s)
+}
+
+// LoadTwoHead reads a network saved by TwoHead.Save.
+func LoadTwoHead(r io.Reader) (*TwoHead, error) {
+	var s twoHeadSnapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("nn: decoding two-head network: %w", err)
+	}
+	if len(s.Heads) == 0 {
+		return nil, fmt.Errorf("nn: two-head snapshot has no heads")
+	}
+	t := &TwoHead{out: make([]float64, len(s.Heads))}
+	restore := func(ls layerSnapshot) (*Dense, error) {
+		if ls.In <= 0 || ls.Out <= 0 || len(ls.W) != ls.In*ls.Out || len(ls.B) != ls.Out {
+			return nil, fmt.Errorf("nn: malformed layer in two-head snapshot")
+		}
+		return &Dense{
+			In: ls.In, Out: ls.Out, Act: ls.Act, W: ls.W, B: ls.B,
+			GW: make([]float64, len(ls.W)),
+			GB: make([]float64, len(ls.B)),
+			x:  make([]float64, ls.In),
+			y:  make([]float64, ls.Out),
+		}, nil
+	}
+	for _, ls := range s.Trunk {
+		l, err := restore(ls)
+		if err != nil {
+			return nil, err
+		}
+		t.Trunk = append(t.Trunk, l)
+	}
+	for _, hs := range s.Heads {
+		var stack []*Dense
+		for _, ls := range hs {
+			l, err := restore(ls)
+			if err != nil {
+				return nil, err
+			}
+			stack = append(stack, l)
+		}
+		if len(stack) == 0 || stack[len(stack)-1].Out != 1 {
+			return nil, fmt.Errorf("nn: two-head snapshot head must end in width 1")
+		}
+		t.Heads = append(t.Heads, stack)
+	}
+	return t, nil
+}
+
+var _ Network = (*TwoHead)(nil)

@@ -1,0 +1,176 @@
+// Package power models the socket power the paper reads from Intel RAPL.
+//
+// RAPL is, from the framework's point of view, an energy integrator: the
+// evaluation reads the socket energy counter before and after an interval and
+// divides by its length. This package provides (i) an analytic CMOS power
+// model P(f) that reproduces the DVFS power/performance trade-off, and
+// (ii) a Meter that integrates it into an energy counter with RAPL-like
+// window queries.
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/deeppower/deeppower/internal/cpu"
+	"github.com/deeppower/deeppower/internal/sim"
+)
+
+// Model describes socket power as a function of per-core frequency and
+// activity:
+//
+//	P_core_active(f) = LeakPerCore + DynCoef · f · V(f)²      (CMOS dynamic power)
+//	P_core_idle(f)   = LeakPerCore + IdleFrac · DynCoef · f · V(f)²
+//	V(f)             = VoltBase + VoltSlope · f                (DVFS voltage curve)
+//	P_socket         = Uncore + Σ_cores P_core
+//
+// Voltage rising with frequency is what makes DVFS super-linear in power and
+// is the entire reason frequency scaling saves energy.
+type Model struct {
+	// Uncore is the frequency-independent package power: memory controller,
+	// LLC, fabric (watts).
+	Uncore float64
+	// LeakPerCore is static leakage per core (watts).
+	LeakPerCore float64
+	// DynCoef scales dynamic power: watts per (GHz · V²).
+	DynCoef float64
+	// VoltBase and VoltSlope define V(f) = VoltBase + VoltSlope·f, f in GHz.
+	VoltBase, VoltSlope float64
+	// IdleFrac is the fraction of dynamic power an idle (clock-gated but
+	// not power-gated) core burns at its current operating point.
+	IdleFrac float64
+}
+
+// DefaultModel returns coefficients loosely calibrated to one 20-core socket
+// of a Xeon Gold 5218R (TDP 125 W): roughly 14 W per core fully active at
+// turbo, 1.9 W at the 0.8 GHz floor, 18 W uncore.
+func DefaultModel() Model {
+	return Model{
+		Uncore:      18.0,
+		LeakPerCore: 0.4,
+		DynCoef:     3.0,
+		VoltBase:    0.60,
+		VoltSlope:   0.25,
+		IdleFrac:    0.12,
+	}
+}
+
+// Validate reports an error for non-physical coefficients.
+func (m Model) Validate() error {
+	switch {
+	case m.Uncore < 0 || m.LeakPerCore < 0 || m.DynCoef <= 0:
+		return fmt.Errorf("power: non-positive coefficients: %+v", m)
+	case m.VoltBase <= 0 || m.VoltSlope < 0:
+		return fmt.Errorf("power: invalid voltage curve: %+v", m)
+	case m.IdleFrac < 0 || m.IdleFrac > 1:
+		return fmt.Errorf("power: IdleFrac %v outside [0,1]", m.IdleFrac)
+	}
+	return nil
+}
+
+// Voltage returns the operating voltage at frequency f.
+func (m Model) Voltage(f cpu.Freq) float64 {
+	return m.VoltBase + m.VoltSlope*float64(f)
+}
+
+// CorePower returns the power draw of one core at frequency f.
+func (m Model) CorePower(f cpu.Freq, active bool) float64 {
+	v := m.Voltage(f)
+	dyn := m.DynCoef * float64(f) * v * v
+	if !active {
+		dyn *= m.IdleFrac
+	}
+	return m.LeakPerCore + dyn
+}
+
+// SocketPower returns total package power given each core's frequency and
+// activity. The two slices must have equal length.
+func (m Model) SocketPower(freqs []cpu.Freq, active []bool) float64 {
+	if len(freqs) != len(active) {
+		panic("power: freqs/active length mismatch")
+	}
+	p := m.Uncore
+	for i, f := range freqs {
+		p += m.CorePower(f, active[i])
+	}
+	return p
+}
+
+// EnergyFor returns the energy (joules) one core consumes running at f for d.
+func (m Model) EnergyFor(f cpu.Freq, active bool, d sim.Time) float64 {
+	return m.CorePower(f, active) * d.Seconds()
+}
+
+// Meter is a RAPL-like socket energy counter. Components report power-state
+// intervals through Accrue; experiments read energy deltas exactly the way
+// the paper reads the MSR_PKG_ENERGY_STATUS counter.
+type Meter struct {
+	energy  float64  // joules since construction
+	last    sim.Time // end of the last accrued interval
+	samples []sample // optional window series for time plots
+	record  bool
+}
+
+type sample struct {
+	at    sim.Time
+	joule float64 // cumulative
+}
+
+// NewMeter returns a meter whose counter starts at zero.
+func NewMeter() *Meter { return &Meter{} }
+
+// EnableSeries makes the meter retain a cumulative-energy series for
+// time-resolved plots (Fig. 8). Off by default to keep long runs lean.
+func (mt *Meter) EnableSeries() { mt.record = true }
+
+// Accrue adds watts·(to-from) joules to the counter. Intervals must be
+// non-negative but may be reported out of order by different components.
+func (mt *Meter) Accrue(from, to sim.Time, watts float64) {
+	if to < from {
+		panic(fmt.Sprintf("power: Accrue interval reversed: %v > %v", from, to))
+	}
+	if watts < 0 {
+		panic("power: negative power")
+	}
+	mt.energy += watts * (to - from).Seconds()
+	if to > mt.last {
+		mt.last = to
+	}
+	if mt.record {
+		mt.samples = append(mt.samples, sample{at: to, joule: mt.energy})
+	}
+}
+
+// Energy returns cumulative joules.
+func (mt *Meter) Energy() float64 { return mt.energy }
+
+// LastUpdate returns the end of the latest accrued interval.
+func (mt *Meter) LastUpdate() sim.Time { return mt.last }
+
+// WindowPower returns the average power over [from, to] using the recorded
+// series; it requires EnableSeries. Returns NaN when the window is empty.
+func (mt *Meter) WindowPower(from, to sim.Time) float64 {
+	if !mt.record || to <= from {
+		return math.NaN()
+	}
+	eFrom := mt.energyAt(from)
+	eTo := mt.energyAt(to)
+	return (eTo - eFrom) / (to - from).Seconds()
+}
+
+func (mt *Meter) energyAt(t sim.Time) float64 {
+	// Binary search over cumulative samples.
+	lo, hi := 0, len(mt.samples)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if mt.samples[mid].at <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return mt.samples[lo-1].joule
+}

@@ -1,0 +1,92 @@
+package rl
+
+import (
+	"github.com/deeppower/deeppower/internal/nn"
+	"github.com/deeppower/deeppower/internal/sim"
+)
+
+// Critic is the paper's Q-network (§4.6): the state passes through a first
+// hidden layer, its output is concatenated with the action, and two further
+// fully-connected layers produce the scalar Q value.
+type Critic struct {
+	l1  *nn.Dense // stateDim → h1 (ReLU)
+	l2  *nn.Dense // h1+actionDim → h2 (ReLU)
+	l3  *nn.Dense // h2 → h3 (ReLU)
+	out *nn.Dense // h3 → 1 (identity)
+
+	stateDim, actionDim int
+	concat              []float64
+}
+
+// NewCritic builds a critic with hidden sizes (h1, h2, h3).
+func NewCritic(stateDim, actionDim int, hidden [3]int, rng *sim.RNG) *Critic {
+	return &Critic{
+		l1:        nn.NewDense(stateDim, hidden[0], nn.ReLU, rng),
+		l2:        nn.NewDense(hidden[0]+actionDim, hidden[1], nn.ReLU, rng),
+		l3:        nn.NewDense(hidden[1], hidden[2], nn.ReLU, rng),
+		out:       nn.NewDense(hidden[2], 1, nn.Identity, rng),
+		stateDim:  stateDim,
+		actionDim: actionDim,
+		concat:    make([]float64, hidden[0]+actionDim),
+	}
+}
+
+// Forward returns Q(s, a) and caches activations for Backward.
+func (c *Critic) Forward(state, action []float64) float64 {
+	h1 := c.l1.Forward(state)
+	copy(c.concat, h1)
+	copy(c.concat[len(h1):], action)
+	h2 := c.l2.Forward(c.concat)
+	h3 := c.l3.Forward(h2)
+	return c.out.Forward(h3)[0]
+}
+
+// Backward propagates dL/dQ of the most recent Forward, accumulating weight
+// gradients, and returns (dL/dstate, dL/daction).
+func (c *Critic) Backward(dq float64) (dstate, daction []float64) {
+	dh3 := c.out.Backward([]float64{dq})
+	dh2 := c.l3.Backward(dh3)
+	dconcat := c.l2.Backward(dh2)
+	h1Dim := len(c.concat) - c.actionDim
+	dstate = c.l1.Backward(dconcat[:h1Dim])
+	daction = append([]float64(nil), dconcat[h1Dim:]...)
+	return dstate, daction
+}
+
+// Layers exposes the trainable layers for optimizers.
+func (c *Critic) Layers() []*nn.Dense {
+	return []*nn.Dense{c.l1, c.l2, c.l3, c.out}
+}
+
+// ZeroGrad clears accumulated gradients.
+func (c *Critic) ZeroGrad() {
+	for _, l := range c.Layers() {
+		l.ZeroGrad()
+	}
+}
+
+// NumParams returns the total trainable parameter count.
+func (c *Critic) NumParams() int {
+	n := 0
+	for _, l := range c.Layers() {
+		n += l.NumParams()
+	}
+	return n
+}
+
+// Clone deep-copies the critic.
+func (c *Critic) Clone() *Critic {
+	return &Critic{
+		l1: c.l1.Clone(), l2: c.l2.Clone(), l3: c.l3.Clone(), out: c.out.Clone(),
+		stateDim: c.stateDim, actionDim: c.actionDim,
+		concat: make([]float64, len(c.concat)),
+	}
+}
+
+// SoftUpdateFrom blends src into this critic: θ ← τ·θ_src + (1-τ)·θ.
+func (c *Critic) SoftUpdateFrom(src *Critic, tau float64) {
+	mine, theirs := c.Layers(), src.Layers()
+	for i := range mine {
+		mine[i].SoftUpdateFrom(theirs[i], tau)
+	}
+}

@@ -1,0 +1,234 @@
+package rl
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/deeppower/deeppower/internal/nn"
+	"github.com/deeppower/deeppower/internal/sim"
+)
+
+// DDPGConfig parameterizes a DDPG agent. Zero values select the paper's
+// defaults (§4.6): a 32-24-16 actor with ReLU hidden activations and a
+// sigmoid output bounding actions to [0,1].
+type DDPGConfig struct {
+	StateDim, ActionDim int
+	// ActorHidden defaults to [32, 24, 16] (§4.6).
+	ActorHidden []int
+	// CriticHidden defaults to [32, 24, 16].
+	CriticHidden [3]int
+	// ActorLR and CriticLR default to 1e-3.
+	ActorLR, CriticLR float64
+	// Gamma is the discount factor (default 0.95).
+	Gamma float64
+	// Tau is the soft target-update coefficient (default 0.01).
+	Tau float64
+	// TwoHeadActor selects the paper's §4.6 actor topology: a shared
+	// fully-connected trunk feeding two separate per-parameter heads
+	// (~2k parameters). Off = a plain sequential MLP.
+	TwoHeadActor bool
+	// Seed drives weight init and replay sampling.
+	Seed int64
+}
+
+func (c DDPGConfig) withDefaults() (DDPGConfig, error) {
+	if c.StateDim <= 0 || c.ActionDim <= 0 {
+		return c, fmt.Errorf("rl: DDPG needs positive state/action dims, got %d/%d",
+			c.StateDim, c.ActionDim)
+	}
+	if c.ActorHidden == nil {
+		c.ActorHidden = []int{32, 24, 16}
+	}
+	if c.CriticHidden == [3]int{} {
+		c.CriticHidden = [3]int{32, 24, 16}
+	}
+	if c.ActorLR == 0 {
+		c.ActorLR = 1e-3
+	}
+	if c.CriticLR == 0 {
+		c.CriticLR = 1e-3
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 0.95
+	}
+	if c.Gamma < 0 || c.Gamma >= 1 {
+		return c, fmt.Errorf("rl: gamma %v outside [0,1)", c.Gamma)
+	}
+	if c.Tau == 0 {
+		c.Tau = 0.01
+	}
+	return c, nil
+}
+
+// DDPG is the deep deterministic policy gradient agent of Algorithm 2:
+// actor π_θ, critic Q_w, and their targets π_θ', Q_w'.
+type DDPG struct {
+	cfg          DDPGConfig
+	Actor        nn.Network
+	ActorTarget  nn.Network
+	Critic       *Critic
+	CriticTarget *Critic
+
+	actorOpt  *nn.Adam
+	criticOpt *nn.Adam
+}
+
+// NewDDPG builds an agent.
+func NewDDPG(cfg DDPGConfig) (*DDPG, error) {
+	full, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	rng := sim.NewRNG(full.Seed).Stream("ddpg-init")
+	var actor nn.Network
+	if full.TwoHeadActor {
+		if full.ActionDim != 2 {
+			return nil, fmt.Errorf("rl: two-head actor requires ActionDim 2, got %d", full.ActionDim)
+		}
+		actor = nn.NewPaperActor(full.StateDim, rng)
+	} else {
+		sizes := append([]int{full.StateDim}, full.ActorHidden...)
+		sizes = append(sizes, full.ActionDim)
+		actor = nn.NewMLP(sizes, nn.ReLU, nn.Sigmoid, rng)
+	}
+	critic := NewCritic(full.StateDim, full.ActionDim, full.CriticHidden, rng)
+	// Lillicrap et al.'s final-layer initialization: tiny weights keep the
+	// sigmoid outputs near 0.5 at the start, avoiding early corner
+	// saturation (where the sigmoid's vanishing gradient would freeze the
+	// policy).
+	for _, l := range actor.Params() {
+		if l.Act == nn.Sigmoid {
+			shrinkFinalLayer(l, 3e-3)
+		}
+	}
+	shrinkFinalLayer(critic.out, 3e-3)
+	d := &DDPG{
+		cfg:          full,
+		Actor:        actor,
+		ActorTarget:  actor.CloneNet(),
+		Critic:       critic,
+		CriticTarget: critic.Clone(),
+	}
+	d.actorOpt = nn.NewAdam(actor.Params(), full.ActorLR)
+	d.criticOpt = nn.NewAdam(critic.Layers(), full.CriticLR)
+	d.criticOpt.MaxGradNorm = 5
+	d.actorOpt.MaxGradNorm = 5
+	return d, nil
+}
+
+// shrinkFinalLayer rescales a layer's weights to uniform ±limit.
+func shrinkFinalLayer(l *nn.Dense, limit float64) {
+	var maxAbs float64
+	for _, w := range l.W {
+		if a := abs(w); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		return
+	}
+	scale := limit / maxAbs
+	for i := range l.W {
+		l.W[i] *= scale
+	}
+	for i := range l.B {
+		l.B[i] *= scale
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Act returns the deterministic policy action for a state, in [0,1]^dim.
+// The returned slice is freshly allocated.
+func (d *DDPG) Act(state []float64) []float64 {
+	out := d.Actor.Forward(state)
+	return append([]float64(nil), out...)
+}
+
+// ActNoisy returns Act plus exploration noise, clipped to [0,1] (Algorithm 2
+// line 5: a_t = π_θ(s_t) + N(µ,δ)).
+func (d *DDPG) ActNoisy(state []float64, noise Noise) []float64 {
+	a := d.Act(state)
+	n := noise.Sample(len(a))
+	for i := range a {
+		a[i] += n[i]
+	}
+	return clip01(a)
+}
+
+// Update performs one gradient step on a minibatch (Algorithm 2 lines
+// 14–18) and returns the critic and actor losses.
+func (d *DDPG) Update(batch []Transition) (criticLoss, actorLoss float64) {
+	if len(batch) == 0 {
+		return 0, 0
+	}
+	inv := 1 / float64(len(batch))
+
+	// Critic: minimize Σ (y_i - Q_w(s_i, a_i))² with
+	// y_i = r_i + γ·Q_w'(s'_i, π_θ'(s'_i)).
+	d.Critic.ZeroGrad()
+	for _, tr := range batch {
+		y := tr.Reward
+		if !tr.Done {
+			a2 := d.ActorTarget.Forward(tr.NextState)
+			y += d.cfg.Gamma * d.CriticTarget.Forward(tr.NextState, a2)
+		}
+		q := d.Critic.Forward(tr.State, tr.Action)
+		diff := q - y
+		criticLoss += diff * diff * inv
+		d.Critic.Backward(2 * diff * inv)
+	}
+	d.criticOpt.Step()
+
+	// Actor: maximize Σ Q_w(s_i, π_θ(s_i)) — i.e. descend on L_a = -Q.
+	d.Actor.ZeroGrad()
+	for _, tr := range batch {
+		a := d.Actor.Forward(tr.State)
+		aCopy := append([]float64(nil), a...)
+		q := d.Critic.Forward(tr.State, aCopy)
+		actorLoss += -q * inv
+		_, da := d.Critic.Backward(-inv) // dL_a/da through the critic
+		d.Actor.Backward(da)
+	}
+	// The actor pass accumulated unwanted critic gradients; drop them.
+	d.Critic.ZeroGrad()
+	d.actorOpt.Step()
+
+	// Soft-update targets.
+	d.ActorTarget.SoftUpdateNet(d.Actor, d.cfg.Tau)
+	d.CriticTarget.SoftUpdateFrom(d.Critic, d.cfg.Tau)
+	return criticLoss, actorLoss
+}
+
+// QValue exposes the critic's estimate for diagnostics.
+func (d *DDPG) QValue(state, action []float64) float64 {
+	return d.Critic.Forward(state, action)
+}
+
+// NumParams reports actor parameter count (the paper quotes ~2096, §5.5).
+func (d *DDPG) NumParams() int { return d.Actor.NumParams() }
+
+// SavePolicy writes the trained actor network.
+func (d *DDPG) SavePolicy(w io.Writer) error { return d.Actor.Save(w) }
+
+// LoadPolicy replaces the actor (and its target) with a saved network
+// (either topology).
+func (d *DDPG) LoadPolicy(r io.Reader) error {
+	m, err := nn.LoadAny(r)
+	if err != nil {
+		return err
+	}
+	if m.InDim() != d.cfg.StateDim || m.OutDim() != d.cfg.ActionDim {
+		return fmt.Errorf("rl: loaded policy is %d→%d, agent expects %d→%d",
+			m.InDim(), m.OutDim(), d.cfg.StateDim, d.cfg.ActionDim)
+	}
+	d.Actor = m
+	d.ActorTarget = m.CloneNet()
+	d.actorOpt = nn.NewAdam(d.Actor.Params(), d.cfg.ActorLR)
+	return nil
+}

@@ -1,0 +1,152 @@
+package rl
+
+import (
+	"fmt"
+
+	"github.com/deeppower/deeppower/internal/nn"
+	"github.com/deeppower/deeppower/internal/sim"
+)
+
+// DQNConfig parameterizes DQN and DDQN agents over a discrete action set.
+type DQNConfig struct {
+	StateDim   int
+	NumActions int
+	// Hidden defaults to [32, 24, 16], the paper's lightweight size.
+	Hidden []int
+	// LR defaults to 1e-3.
+	LR float64
+	// Gamma defaults to 0.95.
+	Gamma float64
+	// Tau is the soft target-update coefficient (default 0.01).
+	Tau float64
+	// Double selects DDQN's decoupled action selection/evaluation.
+	Double bool
+	Seed   int64
+}
+
+func (c DQNConfig) withDefaults() (DQNConfig, error) {
+	if c.StateDim <= 0 || c.NumActions <= 0 {
+		return c, fmt.Errorf("rl: DQN needs positive dims, got state %d actions %d",
+			c.StateDim, c.NumActions)
+	}
+	if c.Hidden == nil {
+		c.Hidden = []int{32, 24, 16}
+	}
+	if c.LR == 0 {
+		c.LR = 1e-3
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 0.95
+	}
+	if c.Gamma < 0 || c.Gamma >= 1 {
+		return c, fmt.Errorf("rl: gamma %v outside [0,1)", c.Gamma)
+	}
+	if c.Tau == 0 {
+		c.Tau = 0.01
+	}
+	return c, nil
+}
+
+// DQN is a deep Q-network agent; with Double=true it performs DDQN updates
+// (van Hasselt et al. 2016).
+type DQN struct {
+	cfg    DQNConfig
+	Q      *nn.MLP
+	Target *nn.MLP
+	opt    *nn.Adam
+	rng    *sim.RNG
+}
+
+// NewDQN builds an agent.
+func NewDQN(cfg DQNConfig) (*DQN, error) {
+	full, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	rng := sim.NewRNG(full.Seed).Stream("dqn-init")
+	sizes := append([]int{full.StateDim}, full.Hidden...)
+	sizes = append(sizes, full.NumActions)
+	q := nn.NewMLP(sizes, nn.ReLU, nn.Identity, rng)
+	d := &DQN{
+		cfg:    full,
+		Q:      q,
+		Target: q.Clone(),
+		rng:    sim.NewRNG(full.Seed).Stream("dqn-explore"),
+	}
+	d.opt = nn.NewAdam(q.Layers, full.LR)
+	d.opt.MaxGradNorm = 5
+	return d, nil
+}
+
+// Act returns the greedy action index for a state.
+func (d *DQN) Act(state []float64) int {
+	return argmax(d.Q.Forward(state))
+}
+
+// ActEpsilonGreedy explores with probability eps.
+func (d *DQN) ActEpsilonGreedy(state []float64, eps float64) int {
+	if d.rng.Float64() < eps {
+		return d.rng.Intn(d.cfg.NumActions)
+	}
+	return d.Act(state)
+}
+
+// QValues returns a copy of Q(s, ·).
+func (d *DQN) QValues(state []float64) []float64 {
+	return append([]float64(nil), d.Q.Forward(state)...)
+}
+
+// Update performs one gradient step on a minibatch. Transitions must carry
+// a single-element Action slice holding the action index.
+func (d *DQN) Update(batch []Transition) (loss float64) {
+	if len(batch) == 0 {
+		return 0
+	}
+	inv := 1 / float64(len(batch))
+	d.Q.ZeroGrad()
+	for _, tr := range batch {
+		a := int(tr.Action[0])
+		y := tr.Reward
+		if !tr.Done {
+			if d.cfg.Double {
+				// DDQN: online net selects, target net evaluates.
+				sel := argmax(d.Q.Forward(tr.NextState))
+				y += d.cfg.Gamma * d.Target.Forward(tr.NextState)[sel]
+			} else {
+				y += d.cfg.Gamma * maxOf(d.Target.Forward(tr.NextState))
+			}
+		}
+		q := d.Q.Forward(tr.State)
+		diff := q[a] - y
+		loss += diff * diff * inv
+		grad := make([]float64, d.cfg.NumActions)
+		grad[a] = 2 * diff * inv
+		d.Q.Backward(grad)
+	}
+	d.opt.Step()
+	d.Target.SoftUpdateFrom(d.Q, d.cfg.Tau)
+	return loss
+}
+
+// NumParams reports the Q-network parameter count.
+func (d *DQN) NumParams() int { return d.Q.NumParams() }
+
+func argmax(xs []float64) int {
+	best := 0
+	for i, v := range xs {
+		if v > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, v := range xs[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,114 @@
+package rl
+
+import (
+	"math"
+
+	"github.com/deeppower/deeppower/internal/sim"
+)
+
+// Noise is an exploration-noise process added to the actor's action.
+type Noise interface {
+	// Sample returns a noise vector of the given dimension.
+	Sample(dim int) []float64
+	// Reset restarts the process (relevant for temporally-correlated noise).
+	Reset()
+}
+
+// GaussianNoise is i.i.d. N(Mu, Sigma²) noise. The paper uses N(0.3, 1) by
+// default (§4.6): the positive mean biases early exploration toward higher
+// frequencies so the queue does not congest while the policy is random.
+type GaussianNoise struct {
+	Mu, Sigma float64
+	rng       *sim.RNG
+}
+
+// NewGaussianNoise returns a Gaussian noise source.
+func NewGaussianNoise(mu, sigma float64, rng *sim.RNG) *GaussianNoise {
+	return &GaussianNoise{Mu: mu, Sigma: sigma, rng: rng}
+}
+
+// Sample implements Noise.
+func (g *GaussianNoise) Sample(dim int) []float64 {
+	out := make([]float64, dim)
+	for i := range out {
+		out[i] = g.rng.Normal(g.Mu, g.Sigma)
+	}
+	return out
+}
+
+// Reset implements Noise (no state).
+func (g *GaussianNoise) Reset() {}
+
+// OUNoise is an Ornstein-Uhlenbeck process — the temporally-correlated noise
+// of the original DDPG paper, provided as an alternative exploration scheme.
+type OUNoise struct {
+	Theta, Sigma, Mu float64
+	state            []float64
+	rng              *sim.RNG
+}
+
+// NewOUNoise returns an OU process with mean-reversion theta and volatility
+// sigma around mu.
+func NewOUNoise(theta, sigma, mu float64, rng *sim.RNG) *OUNoise {
+	return &OUNoise{Theta: theta, Sigma: sigma, Mu: mu, rng: rng}
+}
+
+// Sample implements Noise.
+func (o *OUNoise) Sample(dim int) []float64 {
+	if len(o.state) != dim {
+		o.state = make([]float64, dim)
+		for i := range o.state {
+			o.state[i] = o.Mu
+		}
+	}
+	out := make([]float64, dim)
+	for i := range o.state {
+		o.state[i] += o.Theta*(o.Mu-o.state[i]) + o.Sigma*o.rng.NormFloat64()
+		out[i] = o.state[i]
+	}
+	return out
+}
+
+// Reset implements Noise.
+func (o *OUNoise) Reset() { o.state = nil }
+
+// DecayedNoise wraps another process, scaling its samples by a factor that
+// decays geometrically per Sample call — a common trick to anneal
+// exploration as training progresses.
+type DecayedNoise struct {
+	Inner Noise
+	Scale float64
+	Decay float64 // per-sample multiplicative decay, e.g. 0.999
+	Floor float64
+}
+
+// Sample implements Noise.
+func (d *DecayedNoise) Sample(dim int) []float64 {
+	out := d.Inner.Sample(dim)
+	for i := range out {
+		out[i] *= d.Scale
+	}
+	d.Scale *= d.Decay
+	if d.Scale < d.Floor {
+		d.Scale = d.Floor
+	}
+	return out
+}
+
+// Reset implements Noise.
+func (d *DecayedNoise) Reset() { d.Inner.Reset() }
+
+// clip01 clamps every element of a into [0,1] — the actor's action range
+// (BaseFreq, ScalingCoef are sigmoid-bounded, §4.4.3).
+func clip01(a []float64) []float64 {
+	for i, v := range a {
+		if v < 0 {
+			a[i] = 0
+		} else if v > 1 {
+			a[i] = 1
+		} else if math.IsNaN(v) {
+			a[i] = 0
+		}
+	}
+	return a
+}

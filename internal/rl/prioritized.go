@@ -1,0 +1,118 @@
+package rl
+
+import (
+	"math"
+
+	"github.com/deeppower/deeppower/internal/sim"
+)
+
+// PrioritizedReplay implements proportional prioritized experience replay
+// (Schaul et al., 2016) as an extension of the paper's uniform pool: rare
+// high-error transitions — e.g. the occasional load spike that caused
+// timeouts — are replayed more often, which matters when such events are a
+// tiny fraction of a mostly-calm trace.
+type PrioritizedReplay struct {
+	buf        []Transition
+	priorities []float64
+	cap        int
+	next       int
+	rng        *sim.RNG
+
+	// Alpha shapes the priority distribution (0 = uniform; default 0.6).
+	Alpha float64
+	// Eps keeps every transition sampleable (default 1e-3).
+	Eps float64
+
+	maxPriority float64
+	sumCache    float64
+	dirty       bool
+}
+
+// NewPrioritizedReplay returns a pool holding up to capacity transitions.
+func NewPrioritizedReplay(capacity int, rng *sim.RNG) *PrioritizedReplay {
+	if capacity <= 0 {
+		panic("rl: non-positive prioritized replay capacity")
+	}
+	return &PrioritizedReplay{
+		cap:         capacity,
+		rng:         rng,
+		Alpha:       0.6,
+		Eps:         1e-3,
+		maxPriority: 1,
+	}
+}
+
+// Len reports how many transitions are stored.
+func (pr *PrioritizedReplay) Len() int { return len(pr.buf) }
+
+// Push stores a transition with maximal priority (so everything is tried at
+// least once), evicting the oldest when full.
+func (pr *PrioritizedReplay) Push(t Transition) {
+	p := math.Pow(pr.maxPriority+pr.Eps, pr.Alpha)
+	if len(pr.buf) < pr.cap {
+		pr.buf = append(pr.buf, t)
+		pr.priorities = append(pr.priorities, p)
+	} else {
+		pr.buf[pr.next] = t
+		pr.priorities[pr.next] = p
+		pr.next = (pr.next + 1) % pr.cap
+	}
+	pr.dirty = true
+}
+
+// SampleIndexed draws n transitions proportionally to priority, returning
+// the transitions and their pool indices (for UpdatePriorities).
+func (pr *PrioritizedReplay) SampleIndexed(n int) ([]Transition, []int) {
+	if len(pr.buf) == 0 {
+		panic("rl: sampling from empty prioritized pool")
+	}
+	if pr.dirty {
+		pr.sumCache = 0
+		for _, p := range pr.priorities {
+			pr.sumCache += p
+		}
+		pr.dirty = false
+	}
+	out := make([]Transition, n)
+	idx := make([]int, n)
+	for i := 0; i < n; i++ {
+		target := pr.rng.Float64() * pr.sumCache
+		acc := 0.0
+		chosen := len(pr.buf) - 1
+		for j, p := range pr.priorities {
+			acc += p
+			if target < acc {
+				chosen = j
+				break
+			}
+		}
+		out[i] = pr.buf[chosen]
+		idx[i] = chosen
+	}
+	return out, idx
+}
+
+// Sample draws n transitions proportionally to priority.
+func (pr *PrioritizedReplay) Sample(n int) []Transition {
+	out, _ := pr.SampleIndexed(n)
+	return out
+}
+
+// UpdatePriorities sets the priorities of previously sampled indices to
+// their new absolute TD errors.
+func (pr *PrioritizedReplay) UpdatePriorities(indices []int, tdErrors []float64) {
+	if len(indices) != len(tdErrors) {
+		panic("rl: UpdatePriorities length mismatch")
+	}
+	for i, ix := range indices {
+		if ix < 0 || ix >= len(pr.priorities) {
+			continue // evicted since sampling
+		}
+		e := math.Abs(tdErrors[i])
+		if e > pr.maxPriority {
+			pr.maxPriority = e
+		}
+		pr.priorities[ix] = math.Pow(e+pr.Eps, pr.Alpha)
+	}
+	pr.dirty = true
+}

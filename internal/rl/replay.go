@@ -1,0 +1,66 @@
+// Package rl implements the deep reinforcement-learning algorithms the paper
+// uses: DDPG (the DeepPower agent, §4.5) and the three comparison algorithms
+// of Table 2 — DQN, DDQN and SAC — on top of the internal/nn library.
+package rl
+
+import (
+	"fmt"
+
+	"github.com/deeppower/deeppower/internal/sim"
+)
+
+// Transition is one experience tuple (s, a, r, s').
+type Transition struct {
+	State     []float64
+	Action    []float64
+	Reward    float64
+	NextState []float64
+	// Done marks terminal transitions (no bootstrapping). The paper's
+	// control task is continuing, so Done is normally false.
+	Done bool
+}
+
+// Replay is the experience replay pool of Fig. 3 (⑥): a fixed-capacity ring
+// from which training samples minibatches uniformly.
+type Replay struct {
+	buf  []Transition
+	cap  int
+	next int
+	full bool
+	rng  *sim.RNG
+}
+
+// NewReplay returns a pool holding up to capacity transitions.
+func NewReplay(capacity int, rng *sim.RNG) *Replay {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("rl: non-positive replay capacity %d", capacity))
+	}
+	return &Replay{buf: make([]Transition, 0, capacity), cap: capacity, rng: rng}
+}
+
+// Push stores a transition, evicting the oldest when full.
+func (rp *Replay) Push(t Transition) {
+	if len(rp.buf) < rp.cap {
+		rp.buf = append(rp.buf, t)
+		return
+	}
+	rp.buf[rp.next] = t
+	rp.next = (rp.next + 1) % rp.cap
+	rp.full = true
+}
+
+// Len reports how many transitions are stored.
+func (rp *Replay) Len() int { return len(rp.buf) }
+
+// Sample draws n transitions uniformly with replacement. It panics when the
+// pool is empty.
+func (rp *Replay) Sample(n int) []Transition {
+	if len(rp.buf) == 0 {
+		panic("rl: sampling from empty replay pool")
+	}
+	out := make([]Transition, n)
+	for i := range out {
+		out[i] = rp.buf[rp.rng.Intn(len(rp.buf))]
+	}
+	return out
+}

@@ -1,0 +1,243 @@
+package rl
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/deeppower/deeppower/internal/nn"
+	"github.com/deeppower/deeppower/internal/sim"
+)
+
+// SACConfig parameterizes a Soft Actor-Critic agent (Haarnoja et al. 2018)
+// with a squashed-Gaussian policy over [0,1]^dim actions and twin critics.
+type SACConfig struct {
+	StateDim, ActionDim int
+	// Hidden defaults to [32, 24, 16].
+	Hidden []int
+	// CriticHidden defaults to [32, 24, 16].
+	CriticHidden [3]int
+	// LR defaults to 1e-3 for actor and critics.
+	LR float64
+	// Gamma defaults to 0.95.
+	Gamma float64
+	// Tau defaults to 0.01.
+	Tau float64
+	// Alpha is the (fixed) entropy temperature, default 0.05.
+	Alpha float64
+	Seed  int64
+}
+
+func (c SACConfig) withDefaults() (SACConfig, error) {
+	if c.StateDim <= 0 || c.ActionDim <= 0 {
+		return c, fmt.Errorf("rl: SAC needs positive dims, got %d/%d", c.StateDim, c.ActionDim)
+	}
+	if c.Hidden == nil {
+		c.Hidden = []int{32, 24, 16}
+	}
+	if c.CriticHidden == [3]int{} {
+		c.CriticHidden = [3]int{32, 24, 16}
+	}
+	if c.LR == 0 {
+		c.LR = 1e-3
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 0.95
+	}
+	if c.Gamma < 0 || c.Gamma >= 1 {
+		return c, fmt.Errorf("rl: gamma %v outside [0,1)", c.Gamma)
+	}
+	if c.Tau == 0 {
+		c.Tau = 0.01
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.05
+	}
+	return c, nil
+}
+
+const (
+	logStdMin = -5
+	logStdMax = 2
+	sacEps    = 1e-6
+)
+
+// SAC is a soft actor-critic agent. The actor outputs (µ, logσ) per action
+// dimension; actions are tanh-squashed and affinely mapped to [0,1].
+type SAC struct {
+	cfg SACConfig
+	// Actor outputs 2·ActionDim values: means then log-stds.
+	Actor                  *nn.MLP
+	Critic1, Critic2       *Critic
+	Target1, Target2       *Critic
+	actorOpt, c1Opt, c2Opt *nn.Adam
+	rng                    *sim.RNG
+}
+
+// NewSAC builds an agent.
+func NewSAC(cfg SACConfig) (*SAC, error) {
+	full, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	rng := sim.NewRNG(full.Seed).Stream("sac-init")
+	sizes := append([]int{full.StateDim}, full.Hidden...)
+	sizes = append(sizes, 2*full.ActionDim)
+	actor := nn.NewMLP(sizes, nn.ReLU, nn.Identity, rng)
+	c1 := NewCritic(full.StateDim, full.ActionDim, full.CriticHidden, rng)
+	c2 := NewCritic(full.StateDim, full.ActionDim, full.CriticHidden, rng)
+	s := &SAC{
+		cfg:     full,
+		Actor:   actor,
+		Critic1: c1, Critic2: c2,
+		Target1: c1.Clone(), Target2: c2.Clone(),
+		rng: sim.NewRNG(full.Seed).Stream("sac-sample"),
+	}
+	s.actorOpt = nn.NewAdam(actor.Layers, full.LR)
+	s.c1Opt = nn.NewAdam(c1.Layers(), full.LR)
+	s.c2Opt = nn.NewAdam(c2.Layers(), full.LR)
+	s.actorOpt.MaxGradNorm = 5
+	s.c1Opt.MaxGradNorm = 5
+	s.c2Opt.MaxGradNorm = 5
+	return s, nil
+}
+
+// head splits the actor output into means and log-stds. The log-std is
+// smoothly bounded via tanh (logStdMin..logStdMax) so gradients never hit a
+// hard clamp; dRaw is d(logStd)/d(raw output) for the chain rule.
+func (s *SAC) head(state []float64) (mu, logStd, dRaw []float64) {
+	out := s.Actor.Forward(state)
+	d := s.cfg.ActionDim
+	mu = append([]float64(nil), out[:d]...)
+	logStd = make([]float64, d)
+	dRaw = make([]float64, d)
+	half := 0.5 * (logStdMax - logStdMin)
+	for i := 0; i < d; i++ {
+		t := math.Tanh(out[d+i])
+		logStd[i] = logStdMin + half*(t+1)
+		dRaw[i] = half * (1 - t*t)
+	}
+	return mu, logStd, dRaw
+}
+
+// Act returns the deterministic (mean) action mapped into [0,1]^dim.
+func (s *SAC) Act(state []float64) []float64 {
+	mu, _, _ := s.head(state)
+	out := make([]float64, len(mu))
+	for i, m := range mu {
+		out[i] = (math.Tanh(m) + 1) / 2
+	}
+	return out
+}
+
+// sacSample carries one reparameterized draw and everything Update's chain
+// rule needs.
+type sacSample struct {
+	a01, aTanh, eps, std []float64
+	dLogStdDRaw          []float64
+	logPi                float64
+}
+
+// sample draws a reparameterized action from the policy at state.
+func (s *SAC) sample(state []float64) sacSample {
+	mu, logStd, dRaw := s.head(state)
+	d := len(mu)
+	out := sacSample{
+		a01: make([]float64, d), aTanh: make([]float64, d),
+		eps: make([]float64, d), std: make([]float64, d),
+		dLogStdDRaw: dRaw,
+	}
+	for i := 0; i < d; i++ {
+		out.std[i] = math.Exp(logStd[i])
+		out.eps[i] = s.rng.NormFloat64()
+		u := mu[i] + out.std[i]*out.eps[i]
+		out.aTanh[i] = math.Tanh(u)
+		out.a01[i] = (out.aTanh[i] + 1) / 2
+		out.logPi += -0.5*out.eps[i]*out.eps[i] - logStd[i] - 0.5*math.Log(2*math.Pi) -
+			math.Log(1-out.aTanh[i]*out.aTanh[i]+sacEps)
+	}
+	return out
+}
+
+// SampleAction draws a stochastic action in [0,1]^dim (exploration).
+func (s *SAC) SampleAction(state []float64) []float64 {
+	return s.sample(state).a01
+}
+
+// Update performs one SAC gradient step on a minibatch and returns the twin
+// critic losses and the actor loss.
+func (s *SAC) Update(batch []Transition) (critic1Loss, critic2Loss, actorLoss float64) {
+	if len(batch) == 0 {
+		return
+	}
+	inv := 1 / float64(len(batch))
+
+	// Critic update: y = r + γ·(min_i Q'_i(s', ã') - α·logπ(ã'|s')).
+	s.Critic1.ZeroGrad()
+	s.Critic2.ZeroGrad()
+	for _, tr := range batch {
+		y := tr.Reward
+		if !tr.Done {
+			next := s.sample(tr.NextState)
+			q1 := s.Target1.Forward(tr.NextState, next.a01)
+			q2 := s.Target2.Forward(tr.NextState, next.a01)
+			y += s.cfg.Gamma * (math.Min(q1, q2) - s.cfg.Alpha*next.logPi)
+		}
+		q := s.Critic1.Forward(tr.State, tr.Action)
+		diff := q - y
+		critic1Loss += diff * diff * inv
+		s.Critic1.Backward(2 * diff * inv)
+
+		q = s.Critic2.Forward(tr.State, tr.Action)
+		diff = q - y
+		critic2Loss += diff * diff * inv
+		s.Critic2.Backward(2 * diff * inv)
+	}
+	s.c1Opt.Step()
+	s.c2Opt.Step()
+
+	// Actor update: minimize E[α·logπ(ã|s) - min_i Q_i(s, ã)] with the
+	// reparameterization trick through the tanh squash.
+	s.Actor.ZeroGrad()
+	d := s.cfg.ActionDim
+	for _, tr := range batch {
+		sp := s.sample(tr.State)
+		q1 := s.Critic1.Forward(tr.State, sp.a01)
+		q2 := s.Critic2.Forward(tr.State, sp.a01)
+		// Each critic caches its own forward pass, so the min critic can
+		// backprop directly.
+		minC, q := s.Critic1, q1
+		if q2 < q1 {
+			minC, q = s.Critic2, q2
+		}
+		actorLoss += (s.cfg.Alpha*sp.logPi - q) * inv
+		_, dqda := minC.Backward(1) // dQ/da01
+
+		// Chain into (dL/dµ, dL/d rawLogStd) for the actor outputs.
+		grad := make([]float64, 2*d)
+		for i := 0; i < d; i++ {
+			sech2 := 1 - sp.aTanh[i]*sp.aTanh[i] // da_tanh/du
+			da01du := 0.5 * sech2
+			dLogPiDu := 2 * sp.aTanh[i] * sech2 / (sech2 + sacEps)
+			// dL/dµ_i.
+			grad[i] = inv * (s.cfg.Alpha*dLogPiDu - dqda[i]*da01du)
+			// dL/dlogσ_i: u depends on logσ via σ·ε; logπ also carries the
+			// explicit -logσ term. Chain through the tanh bounding of
+			// logσ to reach the raw network output.
+			duDLogStd := sp.std[i] * sp.eps[i]
+			dLdLogStd := s.cfg.Alpha*(dLogPiDu*duDLogStd-1) - dqda[i]*da01du*duDLogStd
+			grad[d+i] = inv * dLdLogStd * sp.dLogStdDRaw[i]
+		}
+		s.Actor.Backward(grad)
+	}
+	// Drop critic gradients accumulated during the actor pass.
+	s.Critic1.ZeroGrad()
+	s.Critic2.ZeroGrad()
+	s.actorOpt.Step()
+
+	s.Target1.SoftUpdateFrom(s.Critic1, s.cfg.Tau)
+	s.Target2.SoftUpdateFrom(s.Critic2, s.cfg.Tau)
+	return critic1Loss, critic2Loss, actorLoss
+}
+
+// NumParams reports the actor parameter count.
+func (s *SAC) NumParams() int { return s.Actor.NumParams() }

@@ -1,0 +1,142 @@
+package server
+
+import (
+	"github.com/deeppower/deeppower/internal/cpu"
+	"github.com/deeppower/deeppower/internal/sim"
+)
+
+// The Server itself implements Control; policies receive it in Init.
+var _ Control = (*Server)(nil)
+
+// Now implements Control.
+func (s *Server) Now() sim.Time { return s.eng.Now() }
+
+// NumCores implements Control.
+func (s *Server) NumCores() int { return len(s.cores) }
+
+// Ladder implements Control.
+func (s *Server) Ladder() cpu.Ladder { return s.cfg.Ladder }
+
+// SLA implements Control.
+func (s *Server) SLA() sim.Time { return s.prof.SLA }
+
+// RefFreq implements Control.
+func (s *Server) RefFreq() cpu.Freq { return s.prof.RefFreq }
+
+// SetFreq implements Control. Progress and energy are settled under the old
+// frequency schedule before the new request is applied, and a busy worker's
+// completion event is recomputed.
+func (s *Server) SetFreq(core int, f cpu.Freq) {
+	w := s.workers[core]
+	now := s.eng.Now()
+	s.syncWorker(w, now)
+	s.accrueCore(w, now)
+	w.core.SetFreq(now, f)
+	if w.req != nil {
+		s.scheduleCompletion(w)
+	}
+}
+
+// SetTurbo implements Control.
+func (s *Server) SetTurbo(core int) {
+	s.SetFreq(core, s.cfg.Ladder.Turbo)
+}
+
+// SetScore implements Control: the thread-controller mapping of Algorithm 1.
+func (s *Server) SetScore(core int, score float64) {
+	if score >= 1 {
+		s.SetTurbo(core)
+		return
+	}
+	s.SetFreq(core, s.cfg.Ladder.Interpolate(score))
+}
+
+// Freq implements Control.
+func (s *Server) Freq(core int) cpu.Freq { return s.cores[core].Target() }
+
+// Sleep implements Control.
+func (s *Server) Sleep(core int, state cpu.CState) bool {
+	w := s.workers[core]
+	if w.req != nil {
+		return false
+	}
+	now := s.eng.Now()
+	s.accrueCore(w, now)
+	w.core.Sleep(now, state)
+	return true
+}
+
+// CoreCState implements Control.
+func (s *Server) CoreCState(core int) cpu.CState { return s.cores[core].CState() }
+
+// CoreRequest implements Control.
+func (s *Server) CoreRequest(core int) *Request { return s.workers[core].req }
+
+// QueueLen implements Control.
+func (s *Server) QueueLen() int { return s.queue.Len() }
+
+// QueuePeek implements Control.
+func (s *Server) QueuePeek(i int) *Request { return s.queue.Peek(i) }
+
+// BusyCores implements Control.
+func (s *Server) BusyCores() int {
+	n := 0
+	for _, w := range s.workers {
+		if w.req != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Counters implements Control.
+func (s *Server) Counters() Counters { return s.counters }
+
+// Energy implements Control. Accounting is settled to the current instant so
+// policies reading at agent boundaries see exact interval energy.
+func (s *Server) Energy() float64 {
+	now := s.eng.Now()
+	s.accrueAll(now)
+	s.accrueUncore(now)
+	return s.meter.Energy()
+}
+
+// PredictService implements Control.
+func (s *Server) PredictService(ref sim.Time, f cpu.Freq) sim.Time {
+	return s.prof.ServiceAt(ref, f)
+}
+
+// Snapshot captures the system-information feed the DeepPower state observer
+// consumes (§4.4.1): queue length and, for every queued and in-service
+// request, the remaining SLA budget.
+type Snapshot struct {
+	Now      sim.Time
+	QueueLen int
+	// QueueSLARemaining has one entry per queued request.
+	QueueSLARemaining []sim.Time
+	// CoreSLARemaining has one entry per busy core.
+	CoreSLARemaining []sim.Time
+	Counters         Counters
+	Energy           float64
+}
+
+// Snapshot builds a point-in-time Snapshot.
+func (s *Server) Snapshot() Snapshot {
+	now := s.eng.Now()
+	snap := Snapshot{
+		Now:      now,
+		QueueLen: s.queue.Len(),
+		Counters: s.counters,
+		Energy:   s.Energy(),
+	}
+	for i := 0; i < snap.QueueLen; i++ {
+		r := s.queue.Peek(i)
+		snap.QueueSLARemaining = append(snap.QueueSLARemaining, r.SLARemaining(now, s.prof.SLA))
+	}
+	for _, w := range s.workers {
+		if w.req != nil {
+			snap.CoreSLARemaining = append(snap.CoreSLARemaining, w.req.SLARemaining(now, s.prof.SLA))
+		}
+	}
+	return snap
+}

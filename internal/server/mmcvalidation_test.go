@@ -1,0 +1,107 @@
+package server
+
+import (
+	"math"
+	"testing"
+
+	"github.com/deeppower/deeppower/internal/app"
+	"github.com/deeppower/deeppower/internal/sim"
+	"github.com/deeppower/deeppower/internal/workload"
+)
+
+// expSampler draws exponential service times — together with Poisson
+// arrivals and c identical workers this makes the simulated server an
+// M/M/c queue with a known analytic solution, validating the entire
+// event-driven machinery against queueing theory.
+type expSampler struct{ mean sim.Time }
+
+func (e expSampler) Sample(r *sim.RNG) app.Work {
+	return app.Work{
+		ServiceRef: sim.Seconds(r.Exp(1 / e.mean.Seconds())),
+		Features:   []float64{1},
+	}
+}
+func (e expSampler) FeatureDim() int { return 1 }
+
+// erlangC returns the probability an arrival waits in an M/M/c queue with
+// offered load a = λ/µ and c servers.
+func erlangC(c int, a float64) float64 {
+	// P_wait = (a^c / c!) * (c/(c-a)) / (Σ_{k<c} a^k/k! + (a^c/c!)·c/(c-a))
+	sum := 0.0
+	term := 1.0 // a^k / k!
+	for k := 0; k < c; k++ {
+		sum += term
+		term *= a / float64(k+1)
+	}
+	top := term * float64(c) / (float64(c) - a)
+	return top / (sum + top)
+}
+
+func TestSimulatorMatchesErlangC(t *testing.T) {
+	const (
+		workers = 4
+		meanSvc = 2 * sim.Millisecond
+	)
+	for _, util := range []float64{0.3, 0.6, 0.8} {
+		mu := 1 / meanSvc.Seconds()         // per-server service rate
+		lambda := util * workers * mu       // arrival rate
+		a := lambda / mu                    // offered load
+		pWait := erlangC(workers, a)        // Erlang C
+		wq := pWait / (workers*mu - lambda) // mean wait in queue
+
+		prof := &app.Profile{
+			Name: "mmc", SLA: sim.Second, Workers: workers, RefFreq: 2.1,
+			Sampler: expSampler{mean: meanSvc},
+		}
+		eng := sim.NewEngine()
+		s, err := New(eng, Config{App: prof, Seed: 99, Warmup: 2 * sim.Second}, &maxFreqPolicy{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(workload.Constant(lambda, sim.Second), 60*sim.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Mean latency = mean wait + mean service.
+		want := wq + meanSvc.Seconds()
+		got := res.Latency.Mean
+		if rel := math.Abs(got-want) / want; rel > 0.06 {
+			t.Errorf("util %.0f%%: mean latency %v, Erlang-C predicts %v (rel err %.3f)",
+				util*100, got, want, rel)
+		}
+	}
+}
+
+// TestLittlesLaw checks L = λW on the simulated queue: the time-average
+// number in system equals throughput × mean latency.
+func TestLittlesLaw(t *testing.T) {
+	const workers = 3
+	prof := &app.Profile{
+		Name: "littles", SLA: sim.Second, Workers: workers, RefFreq: 2.1,
+		Sampler: expSampler{mean: sim.Millisecond},
+	}
+	lambda := 0.7 * float64(workers) / sim.Millisecond.Seconds()
+	eng := sim.NewEngine()
+	s, err := New(eng, Config{App: prof, Seed: 5, SeriesInterval: 100 * sim.Millisecond}, &maxFreqPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(workload.Constant(lambda, sim.Second), 30*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	throughput := float64(res.Counters.Completions) / 30.0
+	// L from sampled queue lengths + busy servers: approximate using the
+	// series' queue lengths plus average busy estimated from utilization.
+	var queueSum float64
+	for _, row := range res.Series.Rows {
+		queueSum += float64(row.QueueLen)
+	}
+	lQueue := queueSum / float64(len(res.Series.Rows))
+	lService := throughput * sim.Millisecond.Seconds() // busy servers = λ·E[S]
+	l := lQueue + lService
+	w := res.Latency.Mean
+	if rel := math.Abs(l-throughput*w) / l; rel > 0.15 {
+		t.Errorf("Little's law violated: L=%.3f λW=%.3f (rel %.3f)", l, throughput*w, rel)
+	}
+}

@@ -1,0 +1,98 @@
+// Package server simulates the latency-critical system of the paper's Fig. 3:
+// an open-loop request queue drained by worker threads pinned one-to-one to
+// DVFS-capable cores, with a pluggable power-management policy, socket energy
+// metering, and the system-information feed the DeepPower framework consumes.
+package server
+
+import (
+	"github.com/deeppower/deeppower/internal/app"
+	"github.com/deeppower/deeppower/internal/sim"
+)
+
+// Request is one in-flight client request.
+type Request struct {
+	// ID is a monotonically increasing sequence number.
+	ID uint64
+	// Arrive is when the request entered the server queue.
+	Arrive sim.Time
+	// Start is when a worker began processing it (-1 until dispatched).
+	Start sim.Time
+	// Finish is when processing completed (-1 until then).
+	Finish sim.Time
+	// Work holds the sampled demand and observable features.
+	Work app.Work
+	// ServiceActual is the contended reference service time fixed at
+	// dispatch: Work.ServiceRef · (1 + ContentionCoef·ρ).
+	ServiceActual sim.Time
+	// CoreID is the core that processed the request (-1 until dispatched).
+	CoreID int
+
+	// remaining is reference-service seconds of work left.
+	remaining float64
+}
+
+// Dispatched reports whether a worker has started the request.
+func (r *Request) Dispatched() bool { return r.Start >= 0 }
+
+// Done reports whether processing completed.
+func (r *Request) Done() bool { return r.Finish >= 0 }
+
+// Latency returns the end-to-end latency (queue wait + service). It panics
+// if the request has not finished.
+func (r *Request) Latency() sim.Time {
+	if !r.Done() {
+		panic("server: Latency of unfinished request")
+	}
+	return r.Finish - r.Arrive
+}
+
+// QueueWait returns time spent waiting before dispatch.
+func (r *Request) QueueWait() sim.Time {
+	if !r.Dispatched() {
+		panic("server: QueueWait of undispatched request")
+	}
+	return r.Start - r.Arrive
+}
+
+// SLARemaining returns how much of the SLA budget is left at time now
+// (negative once the request has already exceeded its deadline).
+func (r *Request) SLARemaining(now, sla sim.Time) sim.Time {
+	return sla - (now - r.Arrive)
+}
+
+// Elapsed returns how long the request has been in the system at now.
+func (r *Request) Elapsed(now sim.Time) sim.Time { return now - r.Arrive }
+
+// fifo is an allocation-friendly FIFO queue of requests.
+type fifo struct {
+	items []*Request
+	head  int
+}
+
+func (q *fifo) Len() int { return len(q.items) - q.head }
+
+func (q *fifo) Push(r *Request) { q.items = append(q.items, r) }
+
+func (q *fifo) Pop() *Request {
+	if q.Len() == 0 {
+		return nil
+	}
+	r := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	// Compact once the dead prefix dominates.
+	if q.head > 64 && q.head*2 >= len(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	return r
+}
+
+// Peek returns the i-th queued request (0 = next to dispatch) or nil.
+func (q *fifo) Peek(i int) *Request {
+	if i < 0 || i >= q.Len() {
+		return nil
+	}
+	return q.items[q.head+i]
+}

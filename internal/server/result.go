@@ -1,0 +1,237 @@
+package server
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/deeppower/deeppower/internal/cpu"
+	"github.com/deeppower/deeppower/internal/sim"
+	"github.com/deeppower/deeppower/internal/stats"
+)
+
+// Result summarizes one simulation run with the metrics the paper reports
+// (§5.2): power, latency mean/tail, and timeout percentage.
+type Result struct {
+	Policy   string
+	App      string
+	Duration sim.Time
+	Counters Counters
+
+	// EnergyJ is socket energy over the measured window (post-warmup).
+	EnergyJ float64
+	// AvgPowerW is EnergyJ divided by the measured window.
+	AvgPowerW float64
+	// AvgFreqGHz is the time-weighted mean core frequency.
+	AvgFreqGHz float64
+
+	// Latency is the distribution of end-to-end latencies in seconds.
+	Latency stats.Summary
+	// Latencies retains raw samples unless DiscardLatencies was set.
+	Latencies []float64
+	// TimeoutRate is timeouts/completions.
+	TimeoutRate float64
+	// TimeoutBudgetMet is the paper's Eq. 2 QoS constraint: timeouts must
+	// not exceed 1% of requests over the run.
+	TimeoutBudgetMet bool
+	// MeanTailRatio is mean latency / 99th-percentile latency; the paper's
+	// Fig. 7c "mean/tail rate" (higher is better: short requests finish
+	// fast relative to the tail).
+	MeanTailRatio float64
+	// SLA echoes the application's requirement for report rendering.
+	SLA sim.Time
+	// SLAMet reports whether p99 latency is within the SLA.
+	SLAMet bool
+
+	// Series is the periodic time series when enabled.
+	Series *Series
+	// FreqTrace is the per-tick frequency trace when enabled.
+	FreqTrace *FreqTrace
+}
+
+func (s *Server) buildResult(start, duration sim.Time) *Result {
+	measured := duration - s.cfg.Warmup
+	if measured <= 0 {
+		measured = duration
+	}
+	energy := s.meter.Energy() - s.warmupEnergy
+	res := &Result{
+		Policy:    s.policy.Name(),
+		App:       s.prof.Name,
+		Duration:  duration,
+		Counters:  s.counters,
+		EnergyJ:   energy,
+		AvgPowerW: energy / measured.Seconds(),
+		AvgFreqGHz: s.totalCycles /
+			(float64(len(s.cores)) * duration.Seconds()),
+		Latencies: s.latencies,
+		SLA:       s.prof.SLA,
+		Series:    s.series,
+		FreqTrace: s.freqTrace,
+	}
+	res.Latency = stats.Summarize(s.latencies)
+	if s.cfg.DiscardLatencies && s.latMean.N() > 0 {
+		// Streamed digests replace the (discarded) sample set.
+		res.Latency.N = s.latMean.N()
+		res.Latency.Mean = s.latMean.Mean()
+		res.Latency.Std = s.latMean.StdDev()
+		res.Latency.P99 = s.latP99.Value()
+	}
+	if s.counters.Completions > 0 {
+		res.TimeoutRate = float64(s.counters.Timeouts) / float64(s.counters.Completions)
+	}
+	res.TimeoutBudgetMet = res.TimeoutRate <= 0.01
+	if res.Latency.P99 > 0 {
+		res.MeanTailRatio = res.Latency.Mean / res.Latency.P99
+	}
+	res.SLAMet = res.Latency.P99 <= s.prof.SLA.Seconds()
+	return res
+}
+
+// String renders a one-line report.
+func (r *Result) String() string {
+	return fmt.Sprintf(
+		"%s/%s: power=%.1fW p99=%v mean=%v timeout=%.3f%% slaMet=%v reqs=%d",
+		r.App, r.Policy, r.AvgPowerW,
+		sim.Seconds(r.Latency.P99), sim.Seconds(r.Latency.Mean),
+		r.TimeoutRate*100, r.SLAMet, r.Counters.Completions)
+}
+
+// SeriesRow is one sampled interval of the run.
+type SeriesRow struct {
+	At          sim.Time
+	RPS         float64 // arrivals per second in the interval
+	PowerW      float64 // average socket power in the interval
+	QueueLen    int
+	AvgFreqGHz  float64 // mean of core target frequencies at sample time
+	Timeouts    uint64  // timeouts in the interval
+	Completions uint64
+}
+
+// Series is a periodically sampled run time series.
+type Series struct {
+	Interval sim.Time
+	Rows     []SeriesRow
+
+	nextAt       sim.Time
+	lastCounters Counters
+	lastEnergy   float64
+}
+
+func newSeries(interval sim.Time) *Series {
+	return &Series{Interval: interval, nextAt: interval}
+}
+
+func (ser *Series) maybeSample(now sim.Time, s *Server) {
+	if now < ser.nextAt {
+		return
+	}
+	c := s.counters
+	e := s.meter.Energy()
+	dt := ser.Interval.Seconds()
+	var freqSum float64
+	for _, core := range s.cores {
+		freqSum += float64(core.Target())
+	}
+	ser.Rows = append(ser.Rows, SeriesRow{
+		At:          now,
+		RPS:         float64(c.Arrivals-ser.lastCounters.Arrivals) / dt,
+		PowerW:      (e - ser.lastEnergy) / dt,
+		QueueLen:    s.queue.Len(),
+		AvgFreqGHz:  freqSum / float64(len(s.cores)),
+		Timeouts:    c.Timeouts - ser.lastCounters.Timeouts,
+		Completions: c.Completions - ser.lastCounters.Completions,
+	})
+	ser.lastCounters = c
+	ser.lastEnergy = e
+	ser.nextAt += ser.Interval
+}
+
+// FreqTrace records per-core target frequencies at every tick inside a
+// window, plus request begin/end markers (Figs. 4, 9, 10, 11).
+type FreqTrace struct {
+	From, To sim.Time
+	Times    []sim.Time
+	// Freqs[i] is the frequency of each core at Times[i], GHz.
+	Freqs [][]float64
+	// Begins and Ends are (time, core) markers of request dispatch and
+	// completion within the window.
+	Begins, Ends []FreqMark
+}
+
+// FreqMark is one request lifecycle marker.
+type FreqMark struct {
+	At   sim.Time
+	Core int
+}
+
+func newFreqTrace(from, to sim.Time, cores int) *FreqTrace {
+	return &FreqTrace{From: from, To: to}
+}
+
+func (ft *FreqTrace) inWindow(t sim.Time) bool { return t >= ft.From && t <= ft.To }
+
+func (ft *FreqTrace) sample(now sim.Time, cores []*cpu.Core) {
+	if !ft.inWindow(now) {
+		return
+	}
+	fs := make([]float64, len(cores))
+	for i, c := range cores {
+		fs[i] = float64(c.Target())
+	}
+	ft.Times = append(ft.Times, now)
+	ft.Freqs = append(ft.Freqs, fs)
+}
+
+func (ft *FreqTrace) markBegin(now sim.Time, core int) {
+	if ft.inWindow(now) {
+		ft.Begins = append(ft.Begins, FreqMark{At: now, Core: core})
+	}
+}
+
+func (ft *FreqTrace) markEnd(now sim.Time, core int) {
+	if ft.inWindow(now) {
+		ft.Ends = append(ft.Ends, FreqMark{At: now, Core: core})
+	}
+}
+
+// MinFreq returns the lowest frequency observed anywhere in the trace
+// (+Inf for an empty trace).
+func (ft *FreqTrace) MinFreq() float64 {
+	m := math.Inf(1)
+	for _, row := range ft.Freqs {
+		for _, f := range row {
+			if f < m {
+				m = f
+			}
+		}
+	}
+	return m
+}
+
+// MaxFreq returns the highest frequency observed (-Inf for an empty trace).
+func (ft *FreqTrace) MaxFreq() float64 {
+	m := math.Inf(-1)
+	for _, row := range ft.Freqs {
+		for _, f := range row {
+			if f > m {
+				m = f
+			}
+		}
+	}
+	return m
+}
+
+// Changes counts tick-to-tick frequency changes summed over cores — a
+// granularity measure separating per-request policies from per-millisecond
+// ones (Figs. 9 and 10).
+func (ft *FreqTrace) Changes() int {
+	n := 0
+	for i := 1; i < len(ft.Freqs); i++ {
+		for c := range ft.Freqs[i] {
+			if ft.Freqs[i][c] != ft.Freqs[i-1][c] {
+				n++
+			}
+		}
+	}
+	return n
+}

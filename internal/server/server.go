@@ -1,0 +1,410 @@
+package server
+
+import (
+	"fmt"
+
+	"github.com/deeppower/deeppower/internal/app"
+	"github.com/deeppower/deeppower/internal/cpu"
+	"github.com/deeppower/deeppower/internal/power"
+	"github.com/deeppower/deeppower/internal/sim"
+	"github.com/deeppower/deeppower/internal/stats"
+	"github.com/deeppower/deeppower/internal/workload"
+)
+
+// Config parameterizes a server simulation.
+type Config struct {
+	// App is the latency-critical application profile.
+	App *app.Profile
+	// Ladder is the DVFS frequency ladder (DefaultLadder if zero).
+	Ladder cpu.Ladder
+	// Power is the socket power model (DefaultModel if zero).
+	Power power.Model
+	// Tick is the server's control-loop granularity — the paper's
+	// ShortTime. Defaults to 1 ms.
+	Tick sim.Time
+	// Seed drives all randomness (arrivals, service times).
+	Seed int64
+	// DiscardLatencies disables per-request latency retention (long
+	// training runs only need counters).
+	DiscardLatencies bool
+	// SeriesInterval, when positive, records a time series row every
+	// interval (RPS, power, queue, frequency) for Fig. 8-style plots.
+	SeriesInterval sim.Time
+	// WarmupTime excludes requests arriving before it from latency and
+	// energy statistics (energy is still metered; reporting subtracts).
+	Warmup sim.Time
+	// Interference, when non-nil, returns the extra contention pressure a
+	// colocated workload exerts at a given time (0 = none, 1 = as much as
+	// a fully busy neighbor). It inflates service times through the same
+	// contention model as sibling workers — the co-location effect §3.1
+	// identifies as what breaks load-unaware predictors.
+	Interference func(sim.Time) float64
+}
+
+func (c *Config) withDefaults() (Config, error) {
+	out := *c
+	if out.App == nil {
+		return out, fmt.Errorf("server: Config.App is required")
+	}
+	if err := out.App.Validate(); err != nil {
+		return out, err
+	}
+	if out.Ladder == (cpu.Ladder{}) {
+		out.Ladder = cpu.DefaultLadder()
+	}
+	if err := out.Ladder.Validate(); err != nil {
+		return out, err
+	}
+	if out.Power == (power.Model{}) {
+		out.Power = power.DefaultModel()
+	}
+	if err := out.Power.Validate(); err != nil {
+		return out, err
+	}
+	if out.Tick == 0 {
+		out.Tick = sim.Millisecond
+	}
+	if out.Tick < 0 {
+		return out, fmt.Errorf("server: negative tick %v", out.Tick)
+	}
+	if out.Warmup < 0 || out.SeriesInterval < 0 {
+		return out, fmt.Errorf("server: negative warmup or series interval")
+	}
+	return out, nil
+}
+
+// worker is one thread pinned to one core.
+type worker struct {
+	core     *cpu.Core
+	req      *Request
+	lastSync sim.Time   // work progress is integrated up to here
+	compl    *sim.Event // tentative completion event
+}
+
+// Server simulates the latency-critical system under one Policy.
+type Server struct {
+	eng     *sim.Engine
+	cfg     Config
+	prof    *app.Profile
+	policy  Policy
+	cores   []*cpu.Core
+	workers []*worker
+	queue   fifo
+	meter   *power.Meter
+
+	counters     Counters
+	latencies    []float64 // seconds, completed requests after warmup
+	latMean      stats.Welford
+	latP99       *stats.P2Quantile
+	totalCycles  float64 // Σ freq·dt over all cores, for avg frequency
+	powerLast    []sim.Time
+	uncoreLast   sim.Time
+	warmupEnergy float64
+	warmupDone   bool
+
+	rngService *sim.RNG
+	arrivals   *workload.Arrivals
+	nextID     uint64
+	endAt      sim.Time
+
+	series    *Series
+	freqTrace *FreqTrace
+}
+
+// New builds a server bound to a simulation engine and a policy.
+func New(eng *sim.Engine, cfg Config, policy Policy) (*Server, error) {
+	full, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if policy == nil {
+		return nil, fmt.Errorf("server: nil policy")
+	}
+	s := &Server{
+		eng:        eng,
+		cfg:        full,
+		prof:       full.App,
+		policy:     policy,
+		meter:      power.NewMeter(),
+		rngService: sim.NewRNG(full.Seed).Stream("service"),
+		latP99:     stats.NewP2Quantile(0.99),
+	}
+	n := full.App.Workers
+	s.cores = make([]*cpu.Core, n)
+	s.workers = make([]*worker, n)
+	s.powerLast = make([]sim.Time, n)
+	for i := 0; i < n; i++ {
+		s.cores[i] = cpu.NewCore(i, full.Ladder)
+		s.workers[i] = &worker{core: s.cores[i]}
+	}
+	if full.SeriesInterval > 0 {
+		s.series = newSeries(full.SeriesInterval)
+	}
+	return s, nil
+}
+
+// EnableFreqTrace records per-core target frequencies each tick inside
+// [from, to], plus request begin/end markers — the raw material of the
+// paper's Figs. 4, 9, 10 and 11.
+func (s *Server) EnableFreqTrace(from, to sim.Time) *FreqTrace {
+	s.freqTrace = newFreqTrace(from, to, len(s.cores))
+	return s.freqTrace
+}
+
+// Run drives the simulation with arrivals drawn from trace until duration
+// of virtual time has elapsed, then returns the result.
+func (s *Server) Run(trace *workload.Trace, duration sim.Time) (*Result, error) {
+	if err := trace.Validate(); err != nil {
+		return nil, err
+	}
+	if duration <= 0 {
+		return nil, fmt.Errorf("server: non-positive duration %v", duration)
+	}
+	start := s.eng.Now()
+	s.endAt = start + duration
+	for i := range s.powerLast {
+		s.powerLast[i] = start
+	}
+	s.uncoreLast = start
+	s.arrivals = workload.NewArrivals(trace, sim.NewRNG(s.cfg.Seed).Stream("arrivals"))
+	s.policy.Init(s)
+
+	// Control loop: the paper's ShortTime tick.
+	cancelTick := s.eng.Every(start+s.cfg.Tick, s.cfg.Tick, s.onTick)
+	defer cancelTick()
+
+	s.scheduleNextArrival()
+	s.eng.RunUntil(s.endAt)
+
+	// Final accounting.
+	s.accrueAll(s.endAt)
+	s.accrueUncore(s.endAt)
+	return s.buildResult(start, duration), nil
+}
+
+func (s *Server) scheduleNextArrival() {
+	at := s.arrivals.Next()
+	if at >= s.endAt {
+		return
+	}
+	if at < s.eng.Now() {
+		// The generator starts at time 0; if the engine started later
+		// (chained runs), fast-forward the generator.
+		for at < s.eng.Now() {
+			at = s.arrivals.Next()
+		}
+		if at >= s.endAt {
+			return
+		}
+	}
+	s.eng.At(at, s.onArrival)
+}
+
+func (s *Server) onArrival() {
+	now := s.eng.Now()
+	r := &Request{
+		ID:     s.nextID,
+		Arrive: now,
+		Start:  -1,
+		Finish: -1,
+		CoreID: -1,
+		Work:   s.prof.Sampler.Sample(s.rngService),
+	}
+	s.nextID++
+	s.counters.Arrivals++
+	s.policy.OnArrival(r)
+	if w := s.idleWorker(); w != nil {
+		s.dispatch(w, r)
+	} else {
+		s.queue.Push(r)
+	}
+	s.scheduleNextArrival()
+}
+
+func (s *Server) idleWorker() *worker {
+	for _, w := range s.workers {
+		if w.req == nil {
+			return w
+		}
+	}
+	return nil
+}
+
+// dispatch starts r on worker w at the current time.
+func (s *Server) dispatch(w *worker, r *Request) {
+	now := s.eng.Now()
+	busyOthers := 0
+	for _, o := range s.workers {
+		if o != w && o.req != nil {
+			busyOthers++
+		}
+	}
+	rho := 0.0
+	if len(s.workers) > 1 {
+		rho = float64(busyOthers) / float64(len(s.workers)-1)
+	}
+	if s.cfg.Interference != nil {
+		if x := s.cfg.Interference(now); x > 0 {
+			rho += x
+		}
+	}
+	r.ServiceActual = sim.Time(float64(r.Work.ServiceRef) * (1 + s.prof.ContentionCoef*rho))
+	r.remaining = r.ServiceActual.Seconds()
+	r.Start = now
+	r.CoreID = w.core.ID()
+
+	s.accrueCore(w, now) // idle → busy power transition
+	w.req = r
+	// A sleeping core must wake before executing; its progress starts at
+	// the end of the wake-up latency (the sleep-state extension, §6).
+	w.lastSync = w.core.WakeUp(now)
+	s.counters.Dispatched++
+	if s.freqTrace != nil {
+		s.freqTrace.markBegin(now, w.core.ID())
+	}
+	s.policy.OnDispatch(r, w.core.ID())
+	s.scheduleCompletion(w)
+}
+
+// completionTime computes when w's current request finishes given the core's
+// (possibly transitioning) frequency schedule.
+func (s *Server) completionTime(w *worker, now sim.Time) sim.Time {
+	rem := w.req.remaining
+	// Progress cannot start before a pending wake-up completes.
+	if w.lastSync > now {
+		now = w.lastSync
+	}
+	if rem <= 0 {
+		return now
+	}
+	f0 := w.core.FreqAt(now)
+	if at, f1, ok := w.core.PendingSwitch(); ok && at > now {
+		head := (at - now).Seconds() * s.prof.SpeedAt(f0)
+		if head < rem {
+			return at + sim.Seconds((rem-head)/s.prof.SpeedAt(f1))
+		}
+	}
+	return now + sim.Seconds(rem/s.prof.SpeedAt(f0))
+}
+
+func (s *Server) scheduleCompletion(w *worker) {
+	now := s.eng.Now()
+	if w.compl != nil {
+		s.eng.Cancel(w.compl)
+		w.compl = nil
+	}
+	at := s.completionTime(w, now)
+	w.compl = s.eng.At(at, func() { s.onComplete(w) })
+}
+
+// syncWorker integrates the request's progress up to now. A busy worker's
+// lastSync may sit in the future (pending wake-up); it is never rewound.
+func (s *Server) syncWorker(w *worker, now sim.Time) {
+	if w.req == nil {
+		w.lastSync = now
+		return
+	}
+	if now <= w.lastSync {
+		return
+	}
+	for _, seg := range w.core.Segments(w.lastSync, now) {
+		w.req.remaining -= (seg.To - seg.From).Seconds() * s.prof.SpeedAt(seg.F)
+	}
+	w.lastSync = now
+}
+
+func (s *Server) onComplete(w *worker) {
+	now := s.eng.Now()
+	r := w.req
+	if r == nil {
+		return // stale event (should have been cancelled)
+	}
+	s.syncWorker(w, now)
+	if at := s.completionTime(w, now); at > now {
+		// Numerical drift left more than a clock tick of work; finish it.
+		w.compl = s.eng.At(at, func() { s.onComplete(w) })
+		return
+	}
+	r.Finish = now
+	r.remaining = 0
+
+	s.accrueCore(w, now) // busy → idle power transition
+	w.req = nil
+	w.compl = nil
+
+	s.counters.Completions++
+	lat := r.Latency()
+	if lat > s.prof.SLA {
+		s.counters.Timeouts++
+	}
+	if now >= s.cfg.Warmup {
+		// Streaming digests stay O(1) regardless of run length; the full
+		// sample set is retained only when the caller wants it.
+		s.latMean.Add(lat.Seconds())
+		s.latP99.Add(lat.Seconds())
+		if !s.cfg.DiscardLatencies {
+			s.latencies = append(s.latencies, lat.Seconds())
+		}
+	}
+	if s.freqTrace != nil {
+		s.freqTrace.markEnd(now, w.core.ID())
+	}
+	s.policy.OnComplete(r, w.core.ID())
+
+	if next := s.queue.Pop(); next != nil {
+		s.dispatch(w, next)
+	}
+}
+
+// onTick fires every cfg.Tick: bring accounting up to date, let the policy
+// act, and sample any enabled recorders.
+func (s *Server) onTick(now sim.Time) {
+	if now > s.endAt {
+		return
+	}
+	s.accrueAll(now)
+	s.accrueUncore(now)
+	if !s.warmupDone && now >= s.cfg.Warmup {
+		s.warmupEnergy = s.meter.Energy()
+		s.warmupDone = true
+	}
+	s.policy.OnTick(now)
+	if s.freqTrace != nil {
+		s.freqTrace.sample(now, s.cores)
+	}
+	if s.series != nil {
+		s.series.maybeSample(now, s)
+	}
+}
+
+// accrueCore integrates one worker's core power up to now.
+func (s *Server) accrueCore(w *worker, now sim.Time) {
+	i := w.core.ID()
+	from := s.powerLast[i]
+	if now <= from {
+		return
+	}
+	busy := w.req != nil
+	factor := 1.0
+	if !busy {
+		factor = w.core.CState().PowerFactor()
+	}
+	for _, seg := range w.core.Segments(from, now) {
+		s.meter.Accrue(seg.From, seg.To, s.cfg.Power.CorePower(seg.F, busy)*factor)
+		s.totalCycles += float64(seg.F) * (seg.To - seg.From).Seconds()
+	}
+	s.powerLast[i] = now
+}
+
+func (s *Server) accrueAll(now sim.Time) {
+	for _, w := range s.workers {
+		s.accrueCore(w, now)
+	}
+}
+
+func (s *Server) accrueUncore(now sim.Time) {
+	if now > s.uncoreLast {
+		s.meter.Accrue(s.uncoreLast, now, s.cfg.Power.Uncore)
+		s.uncoreLast = now
+	}
+}

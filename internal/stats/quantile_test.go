@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"github.com/deeppower/deeppower/internal/sim"
+)
+
+func TestP2QuantileUniform(t *testing.T) {
+	rng := sim.NewRNG(1)
+	for _, p := range []float64{0.5, 0.9, 0.99} {
+		est := NewP2Quantile(p)
+		for i := 0; i < 200000; i++ {
+			est.Add(rng.Float64())
+		}
+		if got := est.Value(); math.Abs(got-p) > 0.01 {
+			t.Errorf("p%.0f of U(0,1) = %v, want ~%v", p*100, got, p)
+		}
+		if est.N() != 200000 {
+			t.Errorf("N = %d", est.N())
+		}
+	}
+}
+
+func TestP2QuantileLogNormalTail(t *testing.T) {
+	// Long-tailed data — the shape that matters for latency monitoring.
+	rng := sim.NewRNG(2)
+	est := NewP2Quantile(0.99)
+	xs := make([]float64, 100000)
+	for i := range xs {
+		xs[i] = rng.LogNormal(0, 1)
+		est.Add(xs[i])
+	}
+	exact := Percentile(xs, 99)
+	if rel := math.Abs(est.Value()-exact) / exact; rel > 0.1 {
+		t.Errorf("p99 estimate %v vs exact %v (rel err %.3f)", est.Value(), exact, rel)
+	}
+}
+
+func TestP2QuantileSmallSamples(t *testing.T) {
+	est := NewP2Quantile(0.5)
+	if est.Value() != 0 {
+		t.Error("empty estimator should return 0")
+	}
+	for _, x := range []float64{3, 1, 2} {
+		est.Add(x)
+	}
+	if got := est.Value(); got != 2 {
+		t.Errorf("median of {1,2,3} = %v, want 2", got)
+	}
+}
+
+func TestP2QuantileBadPPanics(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("p=%v did not panic", p)
+				}
+			}()
+			NewP2Quantile(p)
+		}()
+	}
+}
+
+func TestP2QuantileMonotoneData(t *testing.T) {
+	// Sorted input is a classic stress case for P².
+	est := NewP2Quantile(0.9)
+	for i := 0; i < 10000; i++ {
+		est.Add(float64(i))
+	}
+	if got := est.Value(); math.Abs(got-9000) > 300 {
+		t.Errorf("p90 of 0..9999 = %v, want ~9000", got)
+	}
+}
+
+func BenchmarkP2QuantileAdd(b *testing.B) {
+	est := NewP2Quantile(0.99)
+	rng := sim.NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est.Add(rng.Float64())
+	}
+}

@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/deeppower/deeppower/internal/sim"
+)
+
+// WriteCSV renders the trace as "seconds,rps" rows, one per bucket, suitable
+// for plotting Fig. 6 or for feeding a real benchmark client.
+func (tr *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"seconds", "rps"}); err != nil {
+		return err
+	}
+	width := tr.BucketWidth()
+	for i, r := range tr.Rates {
+		t := sim.Time(i) * width
+		rec := []string{
+			strconv.FormatFloat(t.Seconds(), 'f', 3, 64),
+			strconv.FormatFloat(r, 'f', 3, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV (or any external RPS series in
+// the same two-column format). The period is inferred from the row spacing:
+// period = lastTime + spacing.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading trace CSV: %w", err)
+	}
+	if len(rows) < 2 {
+		return nil, fmt.Errorf("workload: trace CSV needs a header and at least one row")
+	}
+	rows = rows[1:] // drop header
+	times := make([]float64, len(rows))
+	rates := make([]float64, len(rows))
+	for i, row := range rows {
+		if len(row) != 2 {
+			return nil, fmt.Errorf("workload: row %d has %d columns, want 2", i+2, len(row))
+		}
+		if times[i], err = strconv.ParseFloat(row[0], 64); err != nil {
+			return nil, fmt.Errorf("workload: row %d time: %w", i+2, err)
+		}
+		if rates[i], err = strconv.ParseFloat(row[1], 64); err != nil {
+			return nil, fmt.Errorf("workload: row %d rate: %w", i+2, err)
+		}
+		if i > 0 && times[i] <= times[i-1] {
+			return nil, fmt.Errorf("workload: row %d time not increasing", i+2)
+		}
+	}
+	var spacing float64
+	if len(times) > 1 {
+		spacing = (times[len(times)-1] - times[0]) / float64(len(times)-1)
+	} else {
+		spacing = 1
+	}
+	tr := &Trace{Period: sim.Seconds(times[len(times)-1] + spacing), Rates: rates}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}

@@ -1,0 +1,281 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/deeppower/deeppower/internal/sim"
+)
+
+func TestConstantTrace(t *testing.T) {
+	tr := Constant(150, 10*sim.Second)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, at := range []sim.Time{0, sim.Second, 9 * sim.Second, 15 * sim.Second} {
+		if got := tr.RateAt(at); got != 150 {
+			t.Errorf("RateAt(%v) = %v, want 150", at, got)
+		}
+	}
+	if tr.MeanRate() != 150 || tr.MaxRate() != 150 {
+		t.Error("mean/max of constant trace wrong")
+	}
+}
+
+func TestTraceValidate(t *testing.T) {
+	bad := []*Trace{
+		{Period: 0, Rates: []float64{1}},
+		{Period: sim.Second, Rates: nil},
+		{Period: sim.Second, Rates: []float64{-1}},
+		{Period: sim.Second, Rates: []float64{math.NaN()}},
+	}
+	for i, tr := range bad {
+		if tr.Validate() == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestRateAtPeriodic(t *testing.T) {
+	tr := &Trace{Period: 4 * sim.Second, Rates: []float64{10, 20, 30, 40}}
+	if got := tr.RateAt(sim.Seconds(1.5)); got != 20 {
+		t.Errorf("RateAt(1.5s) = %v, want 20", got)
+	}
+	// Periodic extension.
+	if got := tr.RateAt(sim.Seconds(5.5)); got != 20 {
+		t.Errorf("RateAt(5.5s) = %v, want 20", got)
+	}
+	if tr.BucketWidth() != sim.Second {
+		t.Errorf("BucketWidth = %v", tr.BucketWidth())
+	}
+}
+
+func TestScale(t *testing.T) {
+	tr := &Trace{Period: 2 * sim.Second, Rates: []float64{10, 30}}
+	s := tr.Scale(2)
+	if s.Rates[0] != 20 || s.Rates[1] != 60 {
+		t.Errorf("Scale(2) = %v", s.Rates)
+	}
+	// Original untouched.
+	if tr.Rates[0] != 10 {
+		t.Error("Scale mutated original")
+	}
+	p := tr.ScaleToPeak(90)
+	if p.MaxRate() != 90 {
+		t.Errorf("ScaleToPeak max = %v", p.MaxRate())
+	}
+	zero := Constant(0, sim.Second).ScaleToPeak(50)
+	if zero.MaxRate() != 0 {
+		t.Error("ScaleToPeak of zero trace should stay zero")
+	}
+}
+
+func TestDiurnalShape(t *testing.T) {
+	cfg := DefaultDiurnal()
+	tr := Diurnal(cfg)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Period != 360*sim.Second || len(tr.Rates) != 360 {
+		t.Fatalf("unexpected geometry: period %v, %d buckets", tr.Period, len(tr.Rates))
+	}
+	// Pronounced swing: crest well above trough.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, r := range tr.Rates {
+		lo = math.Min(lo, r)
+		hi = math.Max(hi, r)
+	}
+	if hi/lo < 2 {
+		t.Errorf("diurnal swing too small: %v..%v", lo, hi)
+	}
+	// The trough should be near phase 0 and crest near mid-period.
+	if tr.RateAt(0) > tr.RateAt(tr.Period/2) {
+		t.Error("trace should rise from trough at t=0 to crest at mid-period")
+	}
+}
+
+func TestDiurnalDeterministic(t *testing.T) {
+	a := Diurnal(DefaultDiurnal())
+	b := Diurnal(DefaultDiurnal())
+	for i := range a.Rates {
+		if a.Rates[i] != b.Rates[i] {
+			t.Fatal("same config produced different traces")
+		}
+	}
+	cfg := DefaultDiurnal()
+	cfg.Seed = 99
+	c := Diurnal(cfg)
+	same := true
+	for i := range a.Rates {
+		if a.Rates[i] != c.Rates[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestDiurnalPanicsOnBadConfig(t *testing.T) {
+	cfg := DefaultDiurnal()
+	cfg.Buckets = 0
+	defer func() {
+		if recover() == nil {
+			t.Error("bad config did not panic")
+		}
+	}()
+	Diurnal(cfg)
+}
+
+func TestArrivalsMatchRate(t *testing.T) {
+	tr := Constant(1000, sim.Second)
+	gen := NewArrivals(tr, sim.NewRNG(42))
+	count := 0
+	for {
+		at := gen.Next()
+		if at > 10*sim.Second {
+			break
+		}
+		count++
+	}
+	// 10 s at 1000 rps → ~10000 arrivals; Poisson std ≈ 100.
+	if count < 9500 || count > 10500 {
+		t.Errorf("arrivals in 10s = %d, want ~10000", count)
+	}
+}
+
+func TestArrivalsStrictlyIncreasing(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := Diurnal(DefaultDiurnal())
+		gen := NewArrivals(tr, sim.NewRNG(seed))
+		last := sim.Time(-1)
+		for i := 0; i < 500; i++ {
+			at := gen.Next()
+			if at <= last {
+				return false
+			}
+			last = at
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArrivalsTrackTraceShape(t *testing.T) {
+	// More arrivals must land in high-rate buckets than low-rate buckets.
+	tr := &Trace{Period: 2 * sim.Second, Rates: []float64{50, 500}}
+	gen := NewArrivals(tr, sim.NewRNG(7))
+	loCount, hiCount := 0, 0
+	for {
+		at := gen.Next()
+		if at > 100*sim.Second {
+			break
+		}
+		if (at % tr.Period) < sim.Second {
+			loCount++
+		} else {
+			hiCount++
+		}
+	}
+	ratio := float64(hiCount) / float64(loCount+1)
+	if ratio < 5 || ratio > 20 {
+		t.Errorf("arrival ratio hi/lo = %v, want ~10", ratio)
+	}
+}
+
+func TestArrivalsZeroRate(t *testing.T) {
+	gen := NewArrivals(Constant(0, sim.Second), sim.NewRNG(1))
+	if got := gen.Next(); got != sim.MaxTime {
+		t.Errorf("zero-rate Next = %v, want MaxTime", got)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := Diurnal(DefaultDiurnal())
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Period != tr.Period {
+		t.Errorf("period %v != %v", got.Period, tr.Period)
+	}
+	if len(got.Rates) != len(tr.Rates) {
+		t.Fatalf("rate count %d != %d", len(got.Rates), len(tr.Rates))
+	}
+	for i := range tr.Rates {
+		if math.Abs(got.Rates[i]-tr.Rates[i]) > 0.001 {
+			t.Fatalf("bucket %d: %v != %v", i, got.Rates[i], tr.Rates[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                         // empty
+		"seconds,rps\n",            // header only
+		"seconds,rps\nx,1\n",       // bad time
+		"seconds,rps\n0,x\n",       // bad rate
+		"seconds,rps\n1,1\n0,1\n",  // non-increasing
+		"seconds,rps\n0,1,extra\n", // wrong column count (csv reader catches)
+		"seconds,rps\n0,-5\n",      // negative rate
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: expected error for %q", i, c)
+		}
+	}
+}
+
+func BenchmarkArrivalsNext(b *testing.B) {
+	gen := NewArrivals(Diurnal(DefaultDiurnal()), sim.NewRNG(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.Next()
+	}
+}
+
+func TestStepTrace(t *testing.T) {
+	tr := Step(100, 400, 10*sim.Second, 10)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.RateAt(0) != 100 || tr.RateAt(9*sim.Second) != 400 {
+		t.Errorf("step levels wrong: %v / %v", tr.RateAt(0), tr.RateAt(9*sim.Second))
+	}
+	if tr.MaxRate() != 400 {
+		t.Errorf("max = %v", tr.MaxRate())
+	}
+	// Degenerate bucket count gets fixed up.
+	if got := Step(1, 2, sim.Second, 0); len(got.Rates) < 2 {
+		t.Error("bucket floor not applied")
+	}
+}
+
+func TestSpikeTrace(t *testing.T) {
+	tr := Spike(100, 1000, 10*sim.Second, 20, 0.1)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.MaxRate() != 1000 {
+		t.Errorf("peak = %v", tr.MaxRate())
+	}
+	// The burst must be short: mean well below the midpoint.
+	if tr.MeanRate() > 300 {
+		t.Errorf("mean = %v, burst too wide", tr.MeanRate())
+	}
+	// Bad burst fraction falls back to default.
+	tr2 := Spike(100, 1000, 10*sim.Second, 20, 5)
+	if err := tr2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -95,6 +95,7 @@ func experiments() []experiment {
 		{"generalization", runGeneralization},
 		{"crossover", runCrossover},
 		{"colocation", runColocation},
+		{"robustness", runRobustness},
 	}
 }
 
@@ -288,4 +289,17 @@ func runColocation(scale exp.Scale, out *writer) error {
 		return err
 	}
 	return out.table("colocation_xapian", r.Table())
+}
+
+func runRobustness(scale exp.Scale, out *writer) error {
+	r, err := exp.Robustness(scale, app.Xapian)
+	if err != nil {
+		return err
+	}
+	for i, t := range r.Tables() {
+		if err := out.table("robustness_xapian_"+r.Scenarios[i], t); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -40,6 +40,7 @@ func TestExperimentRegistryComplete(t *testing.T) {
 		"overhead",
 		// Extensions.
 		"ablation", "generalization", "crossover", "colocation",
+		"robustness",
 	}
 	have := map[string]bool{}
 	for _, e := range experiments() {

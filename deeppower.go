@@ -28,6 +28,7 @@ import (
 	"github.com/deeppower/deeppower/internal/control"
 	"github.com/deeppower/deeppower/internal/cpu"
 	"github.com/deeppower/deeppower/internal/exp"
+	"github.com/deeppower/deeppower/internal/fault"
 	"github.com/deeppower/deeppower/internal/power"
 	"github.com/deeppower/deeppower/internal/server"
 	"github.com/deeppower/deeppower/internal/sim"
@@ -95,6 +96,29 @@ type (
 	DQNPowerPolicy = agent.DQNPower
 	// DQNPowerConfig parameterizes DQNPowerPolicy.
 	DQNPowerConfig = agent.DQNPowerConfig
+	// FaultPlan is a reproducible fault-injection campaign (see
+	// internal/fault): seed-driven DVFS actuation faults, sensor noise,
+	// core failures/throttling, and load bursts.
+	FaultPlan = fault.Plan
+	// ActuationPlan configures DVFS actuation faults (latency, jitter,
+	// dropped and stuck governor writes) inside a FaultPlan.
+	ActuationPlan = fault.ActuationPlan
+	// SensorPlan configures telemetry faults (energy-counter noise, stale
+	// or partial snapshots, queue-length jitter) inside a FaultPlan.
+	SensorPlan = fault.SensorPlan
+	// CorePlan configures per-core failures and thermal throttling inside
+	// a FaultPlan.
+	CorePlan = fault.CorePlan
+	// LoadPlan configures arrival-burst injection inside a FaultPlan.
+	LoadPlan = fault.LoadPlan
+	// FaultInjector realizes a FaultPlan against a running server; plug it
+	// into ServerConfig.Faults for advanced use.
+	FaultInjector = fault.Injector
+	// GuardedPolicy is the watchdog wrapper that validates inner-policy
+	// actions and falls back to a max-frequency safe mode on QoS breach.
+	GuardedPolicy = fault.GuardedPolicy
+	// GuardConfig tunes the watchdog's health window and backoff.
+	GuardConfig = fault.GuardConfig
 )
 
 // Sleep states re-exported for convenience.
@@ -108,6 +132,21 @@ const (
 // period drop into C6 and wake (paying the wake latency) on dispatch.
 func WithSleep(inner Policy) *SleepWrapper {
 	return baselines.NewSleepWrapper(inner)
+}
+
+// WithGuard wraps a policy in the guarded-policy watchdog with default
+// settings: invalid actions are rejected, and the system degrades to a
+// max-frequency safe mode when the sliding-window timeout rate or tail
+// latency breaches its health limits, re-engaging the inner policy with
+// exponential backoff once health recovers.
+func WithGuard(inner Policy) *GuardedPolicy {
+	return fault.WithGuard(inner)
+}
+
+// NewFaultInjector realizes a fault plan for a server with numCores worker
+// cores. Most callers use Config.FaultPlan instead.
+func NewFaultInjector(plan FaultPlan, numCores int) (*FaultInjector, error) {
+	return fault.NewInjector(plan, numCores)
 }
 
 // NewDQNPower builds the discrete-action DeepPower variant.
@@ -175,6 +214,14 @@ type Config struct {
 	Seed int64
 	// Policy, when non-nil, overrides Method with a caller-built policy.
 	Policy Policy
+	// FaultPlan, when non-nil, runs the evaluation under the given
+	// fault-injection campaign (training still happens on the clean
+	// system, as it would in a healthy staging environment).
+	FaultPlan *FaultPlan
+	// Guard wraps the evaluated policy in the guarded-policy watchdog.
+	Guard bool
+	// GuardConfig tunes the watchdog when Guard is set (zero = defaults).
+	GuardConfig GuardConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -262,7 +309,15 @@ func Run(cfg Config) (*Result, error) {
 			return nil, err
 		}
 	}
-	res, err := setup.Evaluate(pol)
+	if full.Guard {
+		pol = fault.NewGuardedPolicy(pol, full.GuardConfig)
+	}
+	var res *ServerResult
+	if full.FaultPlan != nil {
+		res, err = setup.EvaluateUnderFaults(pol, *full.FaultPlan)
+	} else {
+		res, err = setup.Evaluate(pol)
+	}
 	if err != nil {
 		return nil, err
 	}

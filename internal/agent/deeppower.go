@@ -3,6 +3,7 @@ package agent
 import (
 	"fmt"
 	"io"
+	"math"
 
 	"github.com/deeppower/deeppower/internal/control"
 	"github.com/deeppower/deeppower/internal/rl"
@@ -237,8 +238,10 @@ func (dp *DeepPower) agentStep(now sim.Time) {
 	state := dp.observer.Observe(snap)
 	rew := dp.reward.Step(snap.Energy, snap.Counters.Timeouts, snap.QueueLen, dp.cfg.LongTime)
 
-	// Store the completed transition and learn.
-	if dp.cfg.Train && dp.lastState != nil {
+	// Store the completed transition and learn. Transitions carrying
+	// non-finite values (possible under faulted telemetry) are dropped
+	// before they can poison the replay pool.
+	if dp.cfg.Train && dp.lastState != nil && finiteVec(state) && isFinite(rew.Total) {
 		dp.replay.Push(rl.Transition{
 			State:     dp.lastState,
 			Action:    dp.lastAction,
@@ -277,6 +280,17 @@ func (dp *DeepPower) agentStep(now sim.Time) {
 	dp.lastState = state
 	dp.lastAction = action
 	dp.step++
+}
+
+func isFinite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
+func finiteVec(v []float64) bool {
+	for _, x := range v {
+		if !isFinite(x) {
+			return false
+		}
+	}
+	return true
 }
 
 // SavePolicy writes the trained actor.

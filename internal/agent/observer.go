@@ -39,7 +39,12 @@ type Observer struct {
 }
 
 // NewObserver returns an observer for an application with the given SLA.
+// The SLA must be positive: every state component is a fraction of it, and
+// a zero SLA would turn the whole state vector into NaNs.
 func NewObserver(sla sim.Time) *Observer {
+	if sla <= 0 {
+		panic("agent: NewObserver requires a positive SLA")
+	}
 	o := &Observer{sla: sla}
 	for i := range o.norms {
 		o.norms[i] = 1

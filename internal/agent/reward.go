@@ -59,9 +59,17 @@ func (c RewardConfig) withDefaults() RewardConfig {
 //
 //	scaleFunc(x) = (x/η) / (x/η + η/(x+ε))
 //
-// ≈0 below η, →1 as x → ∞.
+// ≈0 below η, →1 as x → ∞. Out-of-domain inputs (negative or non-finite x,
+// possible when queue telemetry is faulted) clamp to the nearest valid
+// value rather than poisoning the reward with NaN.
 func ScaleFunc(x, eta float64) float64 {
 	const eps = 1e-9
+	if math.IsNaN(x) || x < 0 {
+		return 0
+	}
+	if math.IsInf(x, 1) {
+		return 1
+	}
 	a := x / eta
 	return a / (a + eta/(x+eps))
 }
@@ -110,9 +118,20 @@ func (rw *Reward) Step(energyJ float64, timeouts uint64, queueLen int, step sim.
 	}
 	var b Breakdown
 	// R_energy: interval energy normalized to the reference power budget.
+	// Faulted energy sensors can report non-monotone or non-finite
+	// cumulative readings; a bad delta contributes zero rather than a
+	// NaN/negative reward, and the bad reading is not retained as the
+	// baseline for the next step.
+	dE := energyJ - rw.lastEnergy
+	if math.IsNaN(dE) || math.IsInf(dE, 0) || dE < 0 {
+		dE = 0
+	}
+	if math.IsNaN(energyJ) || math.IsInf(energyJ, 0) {
+		energyJ = rw.lastEnergy
+	}
 	denom := rw.cfg.RefPowerW * step.Seconds()
 	if denom > 0 {
-		b.Energy = rw.cfg.Alpha * (energyJ - rw.lastEnergy) / denom
+		b.Energy = rw.cfg.Alpha * dE / denom
 	}
 	// R_timeout: timeouts in the interval, compressed with log1p so a
 	// thousand-timeout burst does not dwarf every other signal.

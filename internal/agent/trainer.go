@@ -42,6 +42,9 @@ type EpisodeStats struct {
 	TimeoutRate float64
 	P99Seconds  float64
 	CriticLoss  float64
+	// Divergences is the learner's cumulative count of rolled-back
+	// updates (non-finite loss or weights detected and recovered).
+	Divergences uint64
 }
 
 // Train runs the policy through cfg.Episodes episodes, returning per-episode
@@ -83,6 +86,9 @@ func Train(dp Trainable, cfg TrainConfig) ([]EpisodeStats, error) {
 		}
 		if ddpg, ok := dp.(*DeepPower); ok {
 			st.CriticLoss = ddpg.CriticLoss
+			if div, ok := ddpg.Agent().(interface{ Divergences() uint64 }); ok {
+				st.Divergences = div.Divergences()
+			}
 		}
 		stats = append(stats, st)
 	}

@@ -13,6 +13,7 @@ package control
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"github.com/deeppower/deeppower/internal/server"
@@ -29,9 +30,9 @@ type Params struct {
 	ScalingCoef float64
 }
 
-// Validate reports an error for out-of-range parameters.
+// Validate reports an error for out-of-range or non-finite parameters.
 func (p Params) Validate() error {
-	if p.BaseFreq < 0 || p.BaseFreq > 1 || p.ScalingCoef < 0 || p.ScalingCoef > 1 {
+	if !(p.BaseFreq >= 0 && p.BaseFreq <= 1 && p.ScalingCoef >= 0 && p.ScalingCoef <= 1) {
 		return fmt.Errorf("control: params %+v outside [0,1]", p)
 	}
 	return nil
@@ -74,8 +75,17 @@ func (tc *ThreadController) Params() Params {
 }
 
 // SetParams installs new parameters (the DRL agent's action, Fig. 3 ②).
-// Out-of-range values are clamped into [0,1].
+// Out-of-range values are clamped into [0,1]; a NaN component — a diverged
+// actor — is rejected, keeping that knob at its last good value.
 func (tc *ThreadController) SetParams(p Params) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if math.IsNaN(p.BaseFreq) {
+		p.BaseFreq = tc.params.BaseFreq
+	}
+	if math.IsNaN(p.ScalingCoef) {
+		p.ScalingCoef = tc.params.ScalingCoef
+	}
 	if p.BaseFreq < 0 {
 		p.BaseFreq = 0
 	} else if p.BaseFreq > 1 {
@@ -86,9 +96,7 @@ func (tc *ThreadController) SetParams(p Params) {
 	} else if p.ScalingCoef > 1 {
 		p.ScalingCoef = 1
 	}
-	tc.mu.Lock()
 	tc.params = p
-	tc.mu.Unlock()
 }
 
 // OnTick implements server.Policy: Algorithm 1's inner loop over cores.

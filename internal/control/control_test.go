@@ -16,7 +16,8 @@ func TestParamsValidate(t *testing.T) {
 	if (Params{0.5, 0.5}).Validate() != nil {
 		t.Error("valid params rejected")
 	}
-	for _, p := range []Params{{-0.1, 0}, {0, 1.1}, {2, 2}} {
+	nan := math.NaN()
+	for _, p := range []Params{{-0.1, 0}, {0, 1.1}, {2, 2}, {nan, 0.5}, {0.5, nan}} {
 		if p.Validate() == nil {
 			t.Errorf("params %+v accepted", p)
 		}
@@ -60,6 +61,21 @@ func TestSetParamsClamps(t *testing.T) {
 	got := tc.Params()
 	if got.BaseFreq != 0 || got.ScalingCoef != 1 {
 		t.Errorf("clamped params = %+v", got)
+	}
+	// Infinities clamp like any out-of-range value.
+	tc.SetParams(Params{BaseFreq: math.Inf(1), ScalingCoef: math.Inf(-1)})
+	if got := tc.Params(); got.BaseFreq != 1 || got.ScalingCoef != 0 {
+		t.Errorf("inf params = %+v, want {1 0}", got)
+	}
+	// A NaN component — a diverged actor — keeps the last good value
+	// for that knob while the finite component still applies.
+	tc.SetParams(Params{BaseFreq: math.NaN(), ScalingCoef: 0.6})
+	if got := tc.Params(); got.BaseFreq != 1 || got.ScalingCoef != 0.6 {
+		t.Errorf("NaN BaseFreq: params = %+v, want {1 0.6}", got)
+	}
+	tc.SetParams(Params{BaseFreq: 0.3, ScalingCoef: math.NaN()})
+	if got := tc.Params(); got.BaseFreq != 0.3 || got.ScalingCoef != 0.6 {
+		t.Errorf("NaN ScalingCoef: params = %+v, want {0.3 0.6}", got)
 	}
 }
 

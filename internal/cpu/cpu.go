@@ -83,7 +83,7 @@ func (l Ladder) NumLevels() int { return len(l.Levels()) }
 // Quantize clamps f into [Min, Max] and snaps it to the nearest grid point.
 // It never returns Turbo; use the Turbo field explicitly to engage turbo.
 func (l Ladder) Quantize(f Freq) Freq {
-	if f <= l.Min {
+	if math.IsNaN(float64(f)) || f <= l.Min {
 		return l.Min
 	}
 	if f >= l.Max {
@@ -103,7 +103,7 @@ func (l Ladder) quantizeExact(f Freq) Freq {
 // This is the interpolation step of the paper's thread controller
 // (Algorithm 1, line 9).
 func (l Ladder) Interpolate(score float64) Freq {
-	if score < 0 {
+	if math.IsNaN(score) || score < 0 {
 		score = 0
 	}
 	if score > 1 {

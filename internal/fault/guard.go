@@ -1,0 +1,387 @@
+package fault
+
+import (
+	"math"
+
+	"github.com/deeppower/deeppower/internal/cpu"
+	"github.com/deeppower/deeppower/internal/server"
+	"github.com/deeppower/deeppower/internal/sim"
+)
+
+// GuardConfig tunes the guarded-policy watchdog. The zero value selects the
+// defaults below.
+type GuardConfig struct {
+	// CheckEvery is how often health is evaluated (default 50 ms).
+	CheckEvery sim.Time
+	// Window is the sliding window health is computed over (default 1 s).
+	Window sim.Time
+	// TimeoutRateLimit trips the guard when the windowed timeout rate
+	// exceeds it (default 0.02 — twice the paper's Eq. 2 budget, so a
+	// policy that merely skirts the 1% budget is not preempted).
+	TimeoutRateLimit float64
+	// P99Factor trips the guard when the windowed p99 latency exceeds
+	// P99Factor x SLA (default 1.5).
+	P99Factor float64
+	// MinSamples is the minimum completions in the window before latency
+	// health is judged (default 32).
+	MinSamples int
+	// MaxInvalid trips the guard after this many invalid inner-policy
+	// actions within one window (default 3).
+	MaxInvalid int
+	// Backoff is the initial safe-mode dwell before the inner policy is
+	// retried (default 1 s); it doubles per consecutive failed retry up
+	// to MaxBackoff (default 16 s).
+	Backoff    sim.Time
+	MaxBackoff sim.Time
+}
+
+func (c GuardConfig) withDefaults() GuardConfig {
+	if c.CheckEvery <= 0 {
+		c.CheckEvery = 50 * sim.Millisecond
+	}
+	if c.Window <= 0 {
+		c.Window = sim.Second
+	}
+	if c.TimeoutRateLimit <= 0 {
+		c.TimeoutRateLimit = 0.02
+	}
+	if c.P99Factor <= 0 {
+		c.P99Factor = 1.5
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 32
+	}
+	if c.MaxInvalid <= 0 {
+		c.MaxInvalid = 3
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = sim.Second
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 16 * sim.Second
+	}
+	return c
+}
+
+// GuardStats counts watchdog interventions.
+type GuardStats struct {
+	InvalidActions uint64 // inner-policy actions rejected or clamped
+	Fallbacks      uint64 // transitions into safe mode
+	Reengages      uint64 // successful returns to the inner policy
+	SafeTicks      uint64 // ticks spent in safe mode
+}
+
+// GuardedPolicy wraps an inner server.Policy with a watchdog: every action
+// the inner policy takes is validated (NaN/Inf/out-of-range rejected), and
+// a sliding window of completions is monitored for timeout-rate and
+// tail-latency health. On a health breach — or repeated invalid actions —
+// the guard degrades to a safe mode that pins every core at maximum
+// frequency (the QoS-safe, power-hungry operating point a production
+// deployment falls back to), then retries the inner policy with exponential
+// backoff once the window looks healthy again.
+//
+// The guard is itself a server.Policy, so it wraps DeepPower, baselines, or
+// any other policy unchanged, and it exports its counters on the Result via
+// the server.StatsReporter hook.
+type GuardedPolicy struct {
+	inner server.Policy
+	cfg   GuardConfig
+
+	ctl   server.Control // the real, unguarded control
+	gctl  *guardedControl
+	sla   sim.Time
+	turbo cpu.Freq
+
+	safeMode    bool
+	safeSince   sim.Time
+	backoff     sim.Time
+	nextCheck   sim.Time
+	retryAt     sim.Time
+	invalidBase int
+	completions []guardSample
+
+	stats GuardStats
+	// Transitions logs every mode change for diagnostics.
+	Transitions []GuardTransition
+}
+
+// GuardTransition is one watchdog mode change.
+type GuardTransition struct {
+	At     sim.Time
+	ToSafe bool
+	// WindowTimeoutRate and WindowP99 are the health-window readings at
+	// the moment of the transition (fallbacks only; zero on re-engage).
+	WindowTimeoutRate float64
+	WindowP99         sim.Time
+}
+
+type guardSample struct {
+	at       sim.Time
+	latency  sim.Time
+	timedOut bool
+}
+
+// WithGuard wraps inner with a default-configured watchdog.
+func WithGuard(inner server.Policy) *GuardedPolicy {
+	return NewGuardedPolicy(inner, GuardConfig{})
+}
+
+// NewGuardedPolicy wraps inner with a watchdog tuned by cfg.
+func NewGuardedPolicy(inner server.Policy, cfg GuardConfig) *GuardedPolicy {
+	return &GuardedPolicy{inner: inner, cfg: cfg.withDefaults()}
+}
+
+var (
+	_ server.Policy        = (*GuardedPolicy)(nil)
+	_ server.StatsReporter = (*GuardedPolicy)(nil)
+)
+
+// Name implements server.Policy.
+func (g *GuardedPolicy) Name() string { return "guarded(" + g.inner.Name() + ")" }
+
+// Init implements server.Policy. The inner policy receives a guarded
+// Control handle; the guard keeps the real one for safe-mode actuation.
+func (g *GuardedPolicy) Init(c server.Control) {
+	g.ctl = c
+	g.sla = c.SLA()
+	g.turbo = c.Ladder().Turbo
+	g.gctl = &guardedControl{Control: c, g: g}
+	g.nextCheck = c.Now() + g.cfg.CheckEvery
+	g.backoff = g.cfg.Backoff
+	g.inner.Init(g.gctl)
+}
+
+// OnTick implements server.Policy.
+func (g *GuardedPolicy) OnTick(now sim.Time) {
+	if now >= g.nextCheck {
+		g.checkHealth(now)
+		g.nextCheck = now + g.cfg.CheckEvery
+	}
+	if g.safeMode {
+		g.stats.SafeTicks++
+		// Re-assert max frequency each tick: an actuation fault may have
+		// dropped or delayed an earlier request, and throttles lift.
+		for i := 0; i < g.ctl.NumCores(); i++ {
+			if g.ctl.Freq(i) != g.turbo {
+				g.ctl.SetTurbo(i)
+			}
+		}
+		return
+	}
+	g.inner.OnTick(now)
+}
+
+// OnArrival implements server.Policy.
+func (g *GuardedPolicy) OnArrival(r *server.Request) {
+	if !g.safeMode {
+		g.inner.OnArrival(r)
+	}
+}
+
+// OnDispatch implements server.Policy.
+func (g *GuardedPolicy) OnDispatch(r *server.Request, core int) {
+	if !g.safeMode {
+		g.inner.OnDispatch(r, core)
+	}
+}
+
+// OnComplete implements server.Policy. Completions feed the health window
+// in both modes; the inner policy only sees them when engaged.
+func (g *GuardedPolicy) OnComplete(r *server.Request, core int) {
+	now := g.ctl.Now()
+	lat := now - r.Arrive
+	g.completions = append(g.completions, guardSample{at: now, latency: lat, timedOut: lat > g.sla})
+	if !g.safeMode {
+		g.inner.OnComplete(r, core)
+	}
+}
+
+// ResultStats implements server.StatsReporter.
+func (g *GuardedPolicy) ResultStats() map[string]float64 {
+	return map[string]float64{
+		"guard.invalid_actions": float64(g.stats.InvalidActions),
+		"guard.fallbacks":       float64(g.stats.Fallbacks),
+		"guard.reengages":       float64(g.stats.Reengages),
+		"guard.safe_ticks":      float64(g.stats.SafeTicks),
+	}
+}
+
+// Stats returns the watchdog's intervention counters.
+func (g *GuardedPolicy) Stats() GuardStats { return g.stats }
+
+// SafeMode reports whether the guard is currently in safe mode.
+func (g *GuardedPolicy) SafeMode() bool { return g.safeMode }
+
+func (g *GuardedPolicy) prune(now sim.Time) {
+	cut := now - g.cfg.Window
+	i := 0
+	for i < len(g.completions) && g.completions[i].at < cut {
+		i++
+	}
+	if i > 0 {
+		g.completions = append(g.completions[:0], g.completions[i:]...)
+	}
+}
+
+// windowHealth computes the pruned window's timeout rate and p99; ok
+// reports whether the window passes the configured limits.
+func (g *GuardedPolicy) windowHealth() (rate float64, p99 sim.Time, ok bool) {
+	n := len(g.completions)
+	if n < g.cfg.MinSamples {
+		// Too few samples to judge either way; treat as healthy so an
+		// idle period neither trips nor blocks re-engagement.
+		return 0, 0, true
+	}
+	timeouts := 0
+	lats := make([]float64, n)
+	for i, s := range g.completions {
+		if s.timedOut {
+			timeouts++
+		}
+		lats[i] = float64(s.latency)
+	}
+	rate = float64(timeouts) / float64(n)
+	// Exact p99 over the window (windows are small; sorting is cheap).
+	p99 = sim.Time(quickSelect(lats, int(math.Ceil(0.99*float64(n)))-1))
+	ok = rate <= g.cfg.TimeoutRateLimit && p99 <= sim.Time(g.cfg.P99Factor*float64(g.sla))
+	return rate, p99, ok
+}
+
+func (g *GuardedPolicy) windowHealthy() bool {
+	_, _, ok := g.windowHealth()
+	return ok
+}
+
+func (g *GuardedPolicy) checkHealth(now sim.Time) {
+	g.prune(now)
+	if g.safeMode {
+		if now >= g.retryAt && g.windowHealthy() {
+			g.reengage(now)
+		}
+		return
+	}
+	if !g.windowHealthy() || int(g.stats.InvalidActions)-g.invalidAtWindowStart() > g.cfg.MaxInvalid {
+		g.fallback(now)
+	}
+}
+
+// invalidAtWindowStart: invalid actions are counted cumulatively; the guard
+// trips on the count accumulated since the last mode change.
+func (g *GuardedPolicy) invalidAtWindowStart() int { return g.invalidBase }
+
+func (g *GuardedPolicy) fallback(now sim.Time) {
+	rate, p99, _ := g.windowHealth()
+	g.safeMode = true
+	g.safeSince = now
+	g.stats.Fallbacks++
+	g.Transitions = append(g.Transitions, GuardTransition{
+		At: now, ToSafe: true, WindowTimeoutRate: rate, WindowP99: p99})
+	g.retryAt = now + g.backoff
+	if g.backoff < g.cfg.MaxBackoff {
+		g.backoff *= 2
+	}
+	// Clear the window so safe mode is judged on its own completions.
+	g.completions = g.completions[:0]
+	for i := 0; i < g.ctl.NumCores(); i++ {
+		g.ctl.SetTurbo(i)
+	}
+}
+
+func (g *GuardedPolicy) reengage(now sim.Time) {
+	g.safeMode = false
+	g.stats.Reengages++
+	g.Transitions = append(g.Transitions, GuardTransition{At: now})
+	g.invalidBase = int(g.stats.InvalidActions)
+	g.completions = g.completions[:0]
+	g.inner.OnTick(now)
+}
+
+// validFreq vets a frequency request from the inner policy.
+func (g *GuardedPolicy) validFreq(f cpu.Freq) (cpu.Freq, bool) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) || f <= 0 {
+		g.stats.InvalidActions++
+		return 0, false
+	}
+	if f > g.turbo {
+		// Out-of-ladder high request: clamp rather than reject, but count
+		// it — a policy emitting these repeatedly is malfunctioning.
+		g.stats.InvalidActions++
+		return g.turbo, true
+	}
+	return f, true
+}
+
+// guardedControl is the Control handle the inner policy actuates through.
+// Observation methods pass through; actuation is validated, and suppressed
+// entirely while the guard is in safe mode (a degraded policy must not
+// fight the safe-mode frequency pin).
+type guardedControl struct {
+	server.Control
+	g *GuardedPolicy
+}
+
+func (gc *guardedControl) SetFreq(core int, f cpu.Freq) {
+	if gc.g.safeMode {
+		return
+	}
+	if vf, ok := gc.g.validFreq(f); ok {
+		gc.Control.SetFreq(core, vf)
+	}
+}
+
+func (gc *guardedControl) SetTurbo(core int) {
+	if gc.g.safeMode {
+		return
+	}
+	gc.Control.SetTurbo(core)
+}
+
+func (gc *guardedControl) SetScore(core int, score float64) {
+	if gc.g.safeMode {
+		return
+	}
+	if math.IsNaN(score) || math.IsInf(score, 0) {
+		gc.g.stats.InvalidActions++
+		return
+	}
+	gc.Control.SetScore(core, score)
+}
+
+func (gc *guardedControl) Sleep(core int, state cpu.CState) bool {
+	if gc.g.safeMode {
+		return false
+	}
+	return gc.Control.Sleep(core, state)
+}
+
+// quickSelect returns the k-th smallest element (0-indexed) of a, which it
+// partially reorders in place.
+func quickSelect(a []float64, k int) float64 {
+	lo, hi := 0, len(a)-1
+	for lo < hi {
+		p := a[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for a[i] < p {
+				i++
+			}
+			for a[j] > p {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			break
+		}
+	}
+	return a[k]
+}

@@ -3,6 +3,7 @@ package rl
 import (
 	"fmt"
 	"io"
+	"math"
 
 	"github.com/deeppower/deeppower/internal/nn"
 	"github.com/deeppower/deeppower/internal/sim"
@@ -71,6 +72,8 @@ type DDPG struct {
 
 	actorOpt  *nn.Adam
 	criticOpt *nn.Adam
+
+	divergences uint64
 }
 
 // NewDDPG builds an agent.
@@ -163,10 +166,20 @@ func (d *DDPG) ActNoisy(state []float64, noise Noise) []float64 {
 
 // Update performs one gradient step on a minibatch (Algorithm 2 lines
 // 14–18) and returns the critic and actor losses.
+//
+// Update is divergence-guarded: if the step produces a non-finite loss or
+// non-finite weights anywhere (possible when faulted telemetry slips a
+// pathological transition into replay), the step is rolled back to the
+// pre-update weights, the optimizers are rebuilt (their moments may carry
+// the NaN), the divergence counter is bumped, and the batch is skipped.
 func (d *DDPG) Update(batch []Transition) (criticLoss, actorLoss float64) {
 	if len(batch) == 0 {
 		return 0, 0
 	}
+	// Snapshot for rollback; the networks are ~2k parameters, so this is
+	// cheap next to the gradient pass itself.
+	snapActor, snapActorT := d.Actor.CloneNet(), d.ActorTarget.CloneNet()
+	snapCritic, snapCriticT := d.Critic.Clone(), d.CriticTarget.Clone()
 	inv := 1 / float64(len(batch))
 
 	// Critic: minimize Σ (y_i - Q_w(s_i, a_i))² with
@@ -202,7 +215,53 @@ func (d *DDPG) Update(batch []Transition) (criticLoss, actorLoss float64) {
 	// Soft-update targets.
 	d.ActorTarget.SoftUpdateNet(d.Actor, d.cfg.Tau)
 	d.CriticTarget.SoftUpdateFrom(d.Critic, d.cfg.Tau)
+
+	if !isFinite(criticLoss) || !isFinite(actorLoss) || !d.weightsFinite() {
+		d.Actor, d.ActorTarget = snapActor, snapActorT
+		d.Critic, d.CriticTarget = snapCritic, snapCriticT
+		d.actorOpt = nn.NewAdam(d.Actor.Params(), d.cfg.ActorLR)
+		d.criticOpt = nn.NewAdam(d.Critic.Layers(), d.cfg.CriticLR)
+		d.actorOpt.MaxGradNorm = 5
+		d.criticOpt.MaxGradNorm = 5
+		d.divergences++
+		return 0, 0
+	}
 	return criticLoss, actorLoss
+}
+
+// Divergences reports how many updates were rolled back for producing
+// non-finite losses or weights.
+func (d *DDPG) Divergences() uint64 { return d.divergences }
+
+func isFinite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
+// weightsFinite scans every parameter of the live networks.
+func (d *DDPG) weightsFinite() bool {
+	for _, l := range d.Actor.Params() {
+		if !denseFinite(l) {
+			return false
+		}
+	}
+	for _, l := range d.Critic.Layers() {
+		if !denseFinite(l) {
+			return false
+		}
+	}
+	return true
+}
+
+func denseFinite(l *nn.Dense) bool {
+	for _, w := range l.W {
+		if !isFinite(w) {
+			return false
+		}
+	}
+	for _, b := range l.B {
+		if !isFinite(b) {
+			return false
+		}
+	}
+	return true
 }
 
 // QValue exposes the critic's estimate for diagnostics.

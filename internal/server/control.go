@@ -23,12 +23,46 @@ func (s *Server) SLA() sim.Time { return s.prof.SLA }
 // RefFreq implements Control.
 func (s *Server) RefFreq() cpu.Freq { return s.prof.RefFreq }
 
-// SetFreq implements Control. Progress and energy are settled under the old
-// frequency schedule before the new request is applied, and a busy worker's
-// completion event is recomputed.
+// SetFreq implements Control. With a fault injector configured, the request
+// may be dropped, delayed, or clamped before it reaches the core. Delayed
+// writes model a slow governor thread: at most one apply is in flight per
+// core, and when it fires it actuates the *latest* accepted request — newer
+// requests update the standing value rather than postponing the apply, so a
+// policy hammering the interface still converges instead of livelocking.
 func (s *Server) SetFreq(core int, f cpu.Freq) {
+	now := s.eng.Now()
+	if s.cfg.Faults != nil {
+		nf, delay, drop := s.cfg.Faults.OnFreqSet(now, core, f)
+		if drop {
+			return
+		}
+		f = nf
+		s.wantFreq[core] = f
+		if delay > 0 {
+			if !s.applyPending[core] {
+				s.applyPending[core] = true
+				s.eng.After(delay, func() {
+					s.applyPending[core] = false
+					s.applyFreq(core, s.wantFreq[core])
+				})
+			}
+			return
+		}
+	}
+	s.applyFreq(core, f)
+}
+
+// applyFreq is the actuation path proper: progress and energy are settled
+// under the old frequency schedule before the new request is applied, and a
+// busy worker's completion event is recomputed.
+func (s *Server) applyFreq(core int, f cpu.Freq) {
 	w := s.workers[core]
 	now := s.eng.Now()
+	if s.cfg.Faults != nil {
+		if cap := s.cfg.Faults.FreqCap(now, core); cap > 0 && f > cap {
+			f = cap
+		}
+	}
 	s.syncWorker(w, now)
 	s.accrueCore(w, now)
 	w.core.SetFreq(now, f)
@@ -120,7 +154,9 @@ type Snapshot struct {
 	Energy           float64
 }
 
-// Snapshot builds a point-in-time Snapshot.
+// Snapshot builds a point-in-time Snapshot. A configured fault injector
+// perturbs it before any policy sees it — noisy, stale, or partial
+// telemetry, never the server's own ground-truth accounting.
 func (s *Server) Snapshot() Snapshot {
 	now := s.eng.Now()
 	snap := Snapshot{
@@ -137,6 +173,9 @@ func (s *Server) Snapshot() Snapshot {
 		if w.req != nil {
 			snap.CoreSLARemaining = append(snap.CoreSLARemaining, w.req.SLARemaining(now, s.prof.SLA))
 		}
+	}
+	if s.cfg.Faults != nil {
+		snap = s.cfg.Faults.PerturbSnapshot(now, snap)
 	}
 	return snap
 }

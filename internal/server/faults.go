@@ -1,0 +1,41 @@
+package server
+
+import (
+	"github.com/deeppower/deeppower/internal/cpu"
+	"github.com/deeppower/deeppower/internal/sim"
+)
+
+// FaultInjector is the hook surface through which a fault-injection
+// subsystem (internal/fault) perturbs a running simulation without forking
+// any of its layers. All methods are invoked from the simulation thread.
+//
+// The zero Config carries no injector: the simulator models a perfect world
+// (instant DVFS, exact telemetry, immortal cores) exactly as before.
+type FaultInjector interface {
+	// OnFreqSet intercepts a requested DVFS transition on a core. It
+	// returns the (possibly altered) frequency, an extra actuation delay
+	// on top of the ladder's transition latency, and whether the request
+	// is dropped entirely — the `userspace` governor's sysfs write being
+	// slow, reordered, or lost.
+	OnFreqSet(now sim.Time, core int, f cpu.Freq) (out cpu.Freq, delay sim.Time, drop bool)
+	// FreqCap returns a thermal-throttle ceiling active on a core at now
+	// (0 = none). The hardware clamps both new requests and the standing
+	// target to the cap while it is active.
+	FreqCap(now sim.Time, core int) cpu.Freq
+	// CoreOffline reports whether a core refuses new dispatches at now —
+	// the hotplug/failure model. A busy core drains its request first.
+	CoreOffline(now sim.Time, core int) bool
+	// PerturbSnapshot distorts the system-information feed before a
+	// policy observes it: noisy RAPL energy reads, stale samples, and
+	// dropped detail fields.
+	PerturbSnapshot(now sim.Time, snap Snapshot) Snapshot
+	// Stats reports cumulative injected-fault counters for the Result.
+	Stats() map[string]uint64
+}
+
+// StatsReporter is implemented by policies (e.g. the guarded-policy
+// watchdog) that want to export counters on the run's Result.
+type StatsReporter interface {
+	// ResultStats returns named counters to attach to the Result.
+	ResultStats() map[string]float64
+}

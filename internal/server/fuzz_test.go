@@ -1,6 +1,7 @@
 package server
 
 import (
+	"math"
 	"testing"
 
 	"github.com/deeppower/deeppower/internal/cpu"
@@ -80,6 +81,72 @@ func TestChaosPolicyInvariants(t *testing.T) {
 		// inconsistent with progress.
 		if eng.Now() < 2*sim.Second {
 			t.Errorf("seed %d: clock stopped at %v", seed, eng.Now())
+		}
+	}
+}
+
+// hostilePolicy is a malfunctioning policy: it emits NaN/Inf/out-of-ladder
+// frequencies and non-finite scores. The simulator must absorb all of it
+// without panicking or corrupting its accounting.
+type hostilePolicy struct {
+	BasePolicy
+	rng *sim.RNG
+}
+
+func (p *hostilePolicy) Name() string { return "hostile" }
+
+func (p *hostilePolicy) OnTick(now sim.Time) {
+	c := p.Ctl
+	n := c.NumCores()
+	core := p.rng.Intn(n)
+	switch p.rng.Intn(7) {
+	case 0:
+		c.SetFreq(core, cpu.Freq(math.NaN()))
+	case 1:
+		c.SetFreq(core, cpu.Freq(math.Inf(1)))
+	case 2:
+		c.SetFreq(core, -1)
+	case 3:
+		c.SetFreq(core, 1000) // far above the ladder
+	case 4:
+		c.SetScore(core, math.NaN())
+	case 5:
+		c.SetScore(core, math.Inf(-1))
+	case 6:
+		c.SetFreq(core, cpu.Freq(p.rng.Uniform(0.1, 3.5)))
+	}
+}
+
+// TestHostilePolicyInvariants runs NaN-spewing policies over several seeds:
+// the server must never panic, conservation must hold, and every core's
+// target frequency must remain finite (non-finite requests quantize to the
+// ladder floor or ceiling rather than propagating).
+func TestHostilePolicyInvariants(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		prof := fixedApp(800*sim.Microsecond, 3, 5*sim.Millisecond)
+		eng := sim.NewEngine()
+		s, err := New(eng, Config{App: prof, Seed: seed},
+			&hostilePolicy{rng: sim.NewRNG(seed).Stream("hostile")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(workload.Constant(1500, sim.Second), 2*sim.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inFlight := uint64(s.BusyCores()) + uint64(s.QueueLen())
+		if res.Counters.Arrivals != res.Counters.Completions+inFlight {
+			t.Errorf("seed %d: conservation violated: %d != %d + %d",
+				seed, res.Counters.Arrivals, res.Counters.Completions, inFlight)
+		}
+		for i := range s.cores {
+			f := float64(s.cores[i].Target())
+			if math.IsNaN(f) || math.IsInf(f, 0) || f <= 0 {
+				t.Errorf("seed %d: core %d target frequency corrupted to %v", seed, i, f)
+			}
+		}
+		if math.IsNaN(res.EnergyJ) || math.IsInf(res.EnergyJ, 0) || res.EnergyJ <= 0 {
+			t.Errorf("seed %d: energy accounting corrupted: %v", seed, res.EnergyJ)
 		}
 	}
 }

@@ -46,6 +46,13 @@ type Result struct {
 	Series *Series
 	// FreqTrace is the per-tick frequency trace when enabled.
 	FreqTrace *FreqTrace
+
+	// FaultStats holds the fault injector's counters when Config.Faults
+	// was set (faults injected by kind), nil otherwise.
+	FaultStats map[string]uint64
+	// PolicyStats holds counters exported by policies implementing
+	// StatsReporter (e.g. the guarded-policy watchdog), nil otherwise.
+	PolicyStats map[string]float64
 }
 
 func (s *Server) buildResult(start, duration sim.Time) *Result {
@@ -84,6 +91,12 @@ func (s *Server) buildResult(start, duration sim.Time) *Result {
 		res.MeanTailRatio = res.Latency.Mean / res.Latency.P99
 	}
 	res.SLAMet = res.Latency.P99 <= s.prof.SLA.Seconds()
+	if s.cfg.Faults != nil {
+		res.FaultStats = s.cfg.Faults.Stats()
+	}
+	if sr, ok := s.policy.(StatsReporter); ok {
+		res.PolicyStats = sr.ResultStats()
+	}
 	return res
 }
 

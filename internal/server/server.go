@@ -39,6 +39,10 @@ type Config struct {
 	// contention model as sibling workers — the co-location effect §3.1
 	// identifies as what breaks load-unaware predictors.
 	Interference func(sim.Time) float64
+	// Faults, when non-nil, injects actuation, sensor, and core faults
+	// into the run (see internal/fault). Nil keeps the perfect-world
+	// model and the exact behavior of earlier versions.
+	Faults FaultInjector
 }
 
 func (c *Config) withDefaults() (Config, error) {
@@ -93,7 +97,9 @@ type Server struct {
 	meter   *power.Meter
 
 	counters     Counters
-	latencies    []float64 // seconds, completed requests after warmup
+	applyPending []bool     // per-core governor apply in flight (fault delays)
+	wantFreq     []cpu.Freq // last accepted governor request per core
+	latencies    []float64  // seconds, completed requests after warmup
 	latMean      stats.Welford
 	latP99       *stats.P2Quantile
 	totalCycles  float64 // Σ freq·dt over all cores, for avg frequency
@@ -133,6 +139,11 @@ func New(eng *sim.Engine, cfg Config, policy Policy) (*Server, error) {
 	s.cores = make([]*cpu.Core, n)
 	s.workers = make([]*worker, n)
 	s.powerLast = make([]sim.Time, n)
+	s.applyPending = make([]bool, n)
+	s.wantFreq = make([]cpu.Freq, n)
+	for i := range s.wantFreq {
+		s.wantFreq[i] = full.Ladder.Max // NewCore's starting point
+	}
 	for i := 0; i < n; i++ {
 		s.cores[i] = cpu.NewCore(i, full.Ladder)
 		s.workers[i] = &worker{core: s.cores[i]}
@@ -222,10 +233,15 @@ func (s *Server) onArrival() {
 }
 
 func (s *Server) idleWorker() *worker {
+	now := s.eng.Now()
 	for _, w := range s.workers {
-		if w.req == nil {
-			return w
+		if w.req != nil {
+			continue
 		}
+		if s.cfg.Faults != nil && s.cfg.Faults.CoreOffline(now, w.core.ID()) {
+			continue
+		}
+		return w
 	}
 	return nil
 }
@@ -351,6 +367,11 @@ func (s *Server) onComplete(w *worker) {
 	}
 	s.policy.OnComplete(r, w.core.ID())
 
+	// A core that failed mid-request drains it but takes no new work; the
+	// queue waits for an online worker (the next arrival or tick).
+	if s.cfg.Faults != nil && s.cfg.Faults.CoreOffline(now, w.core.ID()) {
+		return
+	}
 	if next := s.queue.Pop(); next != nil {
 		s.dispatch(w, next)
 	}
@@ -368,12 +389,40 @@ func (s *Server) onTick(now sim.Time) {
 		s.warmupEnergy = s.meter.Energy()
 		s.warmupDone = true
 	}
+	if s.cfg.Faults != nil {
+		s.enforceFaults(now)
+	}
 	s.policy.OnTick(now)
 	if s.freqTrace != nil {
 		s.freqTrace.sample(now, s.cores)
 	}
 	if s.series != nil {
 		s.series.maybeSample(now, s)
+	}
+}
+
+// enforceFaults applies fault effects that act on standing state rather
+// than on requests: thermal throttles clamp a core's target even when no
+// governor write arrives, and queued requests stranded by offline cores are
+// re-dispatched once a worker is back online.
+func (s *Server) enforceFaults(now sim.Time) {
+	for _, w := range s.workers {
+		i := w.core.ID()
+		switch cap := s.cfg.Faults.FreqCap(now, i); {
+		case cap > 0 && w.core.Target() > cap:
+			s.applyFreq(i, cap)
+		case cap == 0 && w.core.Target() != s.wantFreq[i] && !s.applyPending[i]:
+			// Throttle lifted (and no governor write still in flight):
+			// the hardware returns to the standing request.
+			s.applyFreq(i, s.wantFreq[i])
+		}
+	}
+	for s.queue.Len() > 0 {
+		w := s.idleWorker()
+		if w == nil {
+			return
+		}
+		s.dispatch(w, s.queue.Pop())
 	}
 }
 

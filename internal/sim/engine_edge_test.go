@@ -1,0 +1,107 @@
+package sim
+
+import "testing"
+
+// TestEngineCancelAfterFire: cancelling an event that has already fired
+// must be a harmless no-op and must not disturb later events.
+func TestEngineCancelAfterFire(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	ev := e.At(10, func() { fired++ })
+	later := e.At(20, func() { fired++ })
+	if !e.Step() {
+		t.Fatal("no event to fire")
+	}
+	if fired != 1 || !ev.Cancelled() {
+		t.Fatalf("fired=%d cancelled=%v after Step", fired, ev.Cancelled())
+	}
+	e.Cancel(ev) // already fired: no-op
+	e.Cancel(ev) // and again
+	e.RunUntil(30)
+	if fired != 2 {
+		t.Errorf("later event disturbed by post-fire cancel: fired=%d", fired)
+	}
+	_ = later
+}
+
+// TestEngineCancelTwice: double-cancel must remove the event exactly once
+// and leave the heap consistent.
+func TestEngineCancelTwice(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	ev := e.At(10, func() { fired++ })
+	e.At(15, func() { fired += 10 })
+	e.Cancel(ev)
+	if e.Pending() != 1 {
+		t.Fatalf("Pending()=%d after first cancel, want 1", e.Pending())
+	}
+	e.Cancel(ev)
+	if e.Pending() != 1 {
+		t.Fatalf("Pending()=%d after second cancel, want 1", e.Pending())
+	}
+	e.RunUntil(20)
+	if fired != 10 {
+		t.Errorf("fired=%d, want only the surviving event (10)", fired)
+	}
+	e.Cancel(nil) // nil event is also a no-op
+}
+
+// TestEngineEventAtNow: scheduling at exactly the current instant is legal
+// and the event fires, both via Step and via RunUntil(now).
+func TestEngineEventAtNow(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(50)
+	fired := 0
+	e.At(e.Now(), func() { fired++ })
+	if !e.Step() {
+		t.Fatal("event at now did not fire via Step")
+	}
+	if fired != 1 || e.Now() != 50 {
+		t.Fatalf("fired=%d now=%v after at-now event", fired, e.Now())
+	}
+	e.At(e.Now(), func() { fired++ })
+	e.RunUntil(e.Now()) // RunUntil(t) fires events at t itself
+	if fired != 2 {
+		t.Errorf("event at now did not fire via RunUntil: fired=%d", fired)
+	}
+	// After(0) is the same boundary through the other constructor.
+	e.After(0, func() { fired++ })
+	e.RunUntil(e.Now())
+	if fired != 3 {
+		t.Errorf("After(0) event did not fire: fired=%d", fired)
+	}
+}
+
+// TestEngineCancelFromSameInstant: an event firing at time t can cancel a
+// sibling also scheduled at t that has not fired yet.
+func TestEngineCancelFromSameInstant(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	var victim *Event
+	e.At(10, func() {
+		fired++
+		e.Cancel(victim)
+	})
+	victim = e.At(10, func() { fired += 100 })
+	e.RunUntil(20)
+	if fired != 1 {
+		t.Errorf("fired=%d: same-instant sibling was not cancelled", fired)
+	}
+}
+
+// TestEngineSelfCancelInCallback: an event cancelling itself from inside
+// its own callback must not corrupt the heap.
+func TestEngineSelfCancelInCallback(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	var self *Event
+	self = e.At(5, func() {
+		fired++
+		e.Cancel(self) // already firing: no-op
+	})
+	e.At(6, func() { fired++ })
+	e.RunUntil(10)
+	if fired != 2 {
+		t.Errorf("fired=%d, want 2", fired)
+	}
+}

@@ -51,6 +51,54 @@ func TestP2QuantileSmallSamples(t *testing.T) {
 	}
 }
 
+// TestP2QuantileUnderFiveSamples pins the exact small-sample fallback for
+// every count below the P² activation threshold of five markers.
+func TestP2QuantileUnderFiveSamples(t *testing.T) {
+	// One sample: every quantile is that sample.
+	one := NewP2Quantile(0.99)
+	one.Add(7)
+	if got := one.Value(); got != 7 {
+		t.Errorf("p99 of {7} = %v, want 7", got)
+	}
+	if one.N() != 1 {
+		t.Errorf("N=%d, want 1", one.N())
+	}
+
+	// Two samples: p99 interpolates nearly to the max.
+	two := NewP2Quantile(0.99)
+	two.Add(10)
+	two.Add(2)
+	if got := two.Value(); got < 9 || got > 10 {
+		t.Errorf("p99 of {2,10} = %v, want in [9,10]", got)
+	}
+	lo := NewP2Quantile(0.01)
+	lo.Add(10)
+	lo.Add(2)
+	if got := lo.Value(); got < 2 || got > 3 {
+		t.Errorf("p1 of {2,10} = %v, want in [2,3]", got)
+	}
+
+	// Four samples, unsorted input: exact percentile of the sorted set,
+	// and the estimator must not have switched to marker mode.
+	four := NewP2Quantile(0.5)
+	for _, x := range []float64{4, 1, 3, 2} {
+		four.Add(x)
+	}
+	if got := four.Value(); got < 2 || got > 3 {
+		t.Errorf("median of {1,2,3,4} = %v, want in [2,3]", got)
+	}
+	if four.N() != 4 {
+		t.Errorf("N=%d, want 4", four.N())
+	}
+
+	// The fifth sample activates P²; the estimate stays sane across the
+	// boundary.
+	four.Add(5)
+	if got := four.Value(); got < 2 || got > 4 {
+		t.Errorf("median of {1..5} = %v after P² activation, want in [2,4]", got)
+	}
+}
+
 func TestP2QuantileBadPPanics(t *testing.T) {
 	for _, p := range []float64{0, 1, -0.5, 2} {
 		func() {

@@ -6,6 +6,7 @@ package deeppower
 // harnesses at full scale and writes the rendered tables to results/.
 
 import (
+	"context"
 	"testing"
 
 	"github.com/deeppower/deeppower/internal/app"
@@ -25,7 +26,10 @@ func BenchmarkFig1ServiceTimeCDF(b *testing.B) {
 	scale := benchScale()
 	var skew float64
 	for i := 0; i < b.N; i++ {
-		r := exp.Fig1(scale)
+		r, err := exp.Fig1(context.Background(), scale, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
 		skew = r.TailOverMean[app.Moses]
 	}
 	b.ReportMetric(skew, "moses-tail/mean")
@@ -38,7 +42,7 @@ func BenchmarkFig2RelativeRMSE(b *testing.B) {
 	scale.Samples = 1500
 	var worst float64
 	for i := 0; i < b.N; i++ {
-		r, err := exp.Fig2(app.Masstree, scale)
+		r, err := exp.Fig2(context.Background(), app.Masstree, scale, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -68,7 +72,7 @@ func BenchmarkTable3TailLatency(b *testing.B) {
 	scale.Workers = 0 // paper worker counts
 	var p99 float64
 	for i := 0; i < b.N; i++ {
-		r, err := exp.Table3(scale)
+		r, err := exp.Table3(context.Background(), scale, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -84,7 +88,7 @@ func BenchmarkFig4ControllerTrace(b *testing.B) {
 	scale.TrainEpisodes = 2
 	var samples int
 	for i := 0; i < b.N; i++ {
-		r, err := exp.Fig4(scale)
+		r, err := exp.Fig4(context.Background(), scale)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -119,7 +123,7 @@ func BenchmarkFig7PowerComparison(b *testing.B) {
 	scale := benchScale()
 	var saving float64
 	for i := 0; i < b.N; i++ {
-		r, err := exp.Fig7(scale, []string{app.Xapian})
+		r, err := exp.Fig7(context.Background(), scale, []string{app.Xapian}, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -134,7 +138,7 @@ func BenchmarkFig8TimeSeries(b *testing.B) {
 	scale.TrainEpisodes = 2
 	var rows int
 	for i := 0; i < b.N; i++ {
-		r, err := exp.Fig8(scale)
+		r, err := exp.Fig8(context.Background(), scale)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -150,7 +154,7 @@ func BenchmarkFig9FreqTraceXapian(b *testing.B) {
 	scale.TrainEpisodes = 8
 	var changes int
 	for i := 0; i < b.N; i++ {
-		r, err := exp.Fig9(exp.MethodDeepPower, scale)
+		r, err := exp.Fig9(context.Background(), exp.MethodDeepPower, scale)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -165,7 +169,7 @@ func BenchmarkFig10FreqTraceSphinx(b *testing.B) {
 	scale.TrainEpisodes = 8
 	var changes int
 	for i := 0; i < b.N; i++ {
-		r, err := exp.Fig10(exp.MethodDeepPower, scale)
+		r, err := exp.Fig10(context.Background(), exp.MethodDeepPower, scale)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -180,7 +184,7 @@ func BenchmarkFig11FixedParams(b *testing.B) {
 	scale := benchScale()
 	var spread float64
 	for i := 0; i < b.N; i++ {
-		r, err := exp.Fig11(scale)
+		r, err := exp.Fig11(context.Background(), scale, 1)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"context"
+	"testing"
+
+	"github.com/deeppower/deeppower/internal/exp"
+)
+
+// runSuite executes every registered harness at the given worker count —
+// exactly what `repro -scale quick -parallel N` does, minus file I/O.
+func runSuite(b *testing.B, scale exp.Scale, workers int) {
+	ctx := context.Background()
+	for _, h := range exp.Harnesses() {
+		if _, err := h.Run(ctx, scale, workers); err != nil {
+			b.Fatalf("%s: %v", h.Name, err)
+		}
+	}
+}
+
+// BenchmarkReproSerial times the Quick-scale suite with a single worker.
+// Compare against BenchmarkReproParallel to measure the pool's speedup:
+//
+//	go test ./cmd/repro -bench 'BenchmarkRepro' -benchtime 1x
+//
+// Committed numbers live in EXPERIMENTS.md.
+func BenchmarkReproSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runSuite(b, exp.Quick(), 1)
+	}
+}
+
+// BenchmarkReproParallel times the same suite with 4 pool workers.
+func BenchmarkReproParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runSuite(b, exp.Quick(), 4)
+	}
+}

@@ -2,31 +2,35 @@
 // evaluation into the results/ directory: aligned text tables (*.txt) and
 // plottable CSVs (*.csv).
 //
+// Each experiment's (policy × app × seed) grid runs on a bounded worker
+// pool; -parallel sets the worker count (default GOMAXPROCS). Parallel runs
+// are byte-identical to serial ones — every work unit is self-contained and
+// rows are assembled in declared order (see DESIGN.md).
+//
 // Usage:
 //
-//	repro                 # quick scale, all experiments
+//	repro                 # quick scale, all experiments, GOMAXPROCS workers
 //	repro -scale full     # paper-scale (slow: trains on 360 s episodes)
 //	repro -only fig7,table3
+//	repro -parallel 1     # serial execution
 //	repro -out results
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
-	"github.com/deeppower/deeppower/internal/app"
 	"github.com/deeppower/deeppower/internal/exp"
 )
-
-type experiment struct {
-	name string
-	run  func(scale exp.Scale, out *writer) error
-}
 
 func main() {
 	log.SetFlags(0)
@@ -35,6 +39,8 @@ func main() {
 		scaleName = flag.String("scale", "quick", "experiment scale: quick|full")
 		only      = flag.String("only", "", "comma-separated experiment subset (e.g. fig7,table3)")
 		outDir    = flag.String("out", "results", "output directory")
+		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0),
+			"worker count for experiment grids (<= 0 means GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -54,252 +60,49 @@ func main() {
 	selected := map[string]bool{}
 	for _, n := range strings.Split(*only, ",") {
 		if n = strings.TrimSpace(n); n != "" {
+			if _, err := exp.HarnessByName(n); err != nil {
+				log.Fatal(err)
+			}
 			selected[n] = true
 		}
 	}
 
+	// SIGINT/SIGTERM cancel the run: in-flight work units finish, queued
+	// units are never dispatched, and no partial artifacts are written for
+	// the interrupted experiment.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	w := &writer{dir: *outDir}
-	for _, e := range experiments() {
-		if len(selected) > 0 && !selected[e.name] {
+	for _, h := range exp.Harnesses() {
+		if len(selected) > 0 && !selected[h.Name] {
 			continue
 		}
 		start := time.Now()
-		log.Printf("running %s ...", e.name)
-		if err := e.run(scale, w); err != nil {
-			log.Fatalf("%s: %v", e.name, err)
+		log.Printf("running %s ...", h.Name)
+		arts, err := h.Run(ctx, scale, *parallel)
+		if err != nil {
+			if ctx.Err() != nil {
+				log.Fatalf("interrupted during %s", h.Name)
+			}
+			log.Fatalf("%s: %v", h.Name, err)
 		}
-		log.Printf("done %s (%v)", e.name, time.Since(start).Round(time.Millisecond))
+		for _, a := range arts {
+			if err := w.write(a); err != nil {
+				log.Fatalf("%s: %v", h.Name, err)
+			}
+		}
+		log.Printf("done %s (%v)", h.Name, time.Since(start).Round(time.Millisecond))
 	}
 	log.Printf("artifacts written to %s", *outDir)
 }
 
-func experiments() []experiment {
-	return []experiment{
-		{"table1", func(_ exp.Scale, out *writer) error {
-			return out.table("table1_method_comparison", exp.Table1())
-		}},
-		{"fig1", runFig1},
-		{"fig2", runFig2},
-		{"table2", runTable2},
-		{"table3", runTable3},
-		{"fig4", runFig4},
-		{"fig5", runFig5},
-		{"fig6", runFig6},
-		{"fig7", runFig7},
-		{"fig8", runFig8},
-		{"fig9", runFig9},
-		{"fig10", runFig10},
-		{"fig11", runFig11},
-		{"overhead", runOverhead},
-		{"ablation", runAblation},
-		{"generalization", runGeneralization},
-		{"crossover", runCrossover},
-		{"colocation", runColocation},
-		{"robustness", runRobustness},
-	}
-}
-
-// writer renders tables to stdout and files.
+// writer renders artifacts to stdout (tables) and files.
 type writer struct{ dir string }
 
-func (w *writer) table(name string, t *exp.Table) error {
-	fmt.Println(t.Render())
-	return os.WriteFile(filepath.Join(w.dir, name+".txt"), []byte(t.Render()), 0o644)
-}
-
-func (w *writer) csv(name, content string) error {
-	return os.WriteFile(filepath.Join(w.dir, name+".csv"), []byte(content), 0o644)
-}
-
-func runFig1(scale exp.Scale, out *writer) error {
-	r := exp.Fig1(scale)
-	if err := out.table("fig1_service_time_skew", r.Table()); err != nil {
-		return err
+func (w *writer) write(a exp.Artifact) error {
+	if a.Ext == "txt" {
+		fmt.Println(a.Data)
 	}
-	return out.csv("fig1_cdf", r.CSVCurves())
-}
-
-func runFig2(scale exp.Scale, out *writer) error {
-	for _, name := range []string{app.Masstree, app.Sphinx} {
-		r, err := exp.Fig2(name, scale)
-		if err != nil {
-			return err
-		}
-		if err := out.table("fig2_rmse_"+name, r.Table()); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func runTable2(scale exp.Scale, out *writer) error {
-	r, err := exp.Table2(5000)
-	if err != nil {
-		return err
-	}
-	return out.table("table2_inference_time", r.Table())
-}
-
-func runTable3(scale exp.Scale, out *writer) error {
-	scale.Workers = 0 // Table 3 uses the paper's worker counts
-	r, err := exp.Table3(scale)
-	if err != nil {
-		return err
-	}
-	return out.table("table3_tail_latency", r.Table())
-}
-
-func runFig4(scale exp.Scale, out *writer) error {
-	r, err := exp.Fig4(scale)
-	if err != nil {
-		return err
-	}
-	if err := out.table("fig4_controller_trace_summary", r.Summary()); err != nil {
-		return err
-	}
-	return out.csv("fig4_controller_trace", exp.CSVFreqTrace(r.Trace))
-}
-
-func runFig5(scale exp.Scale, out *writer) error {
-	r := exp.Fig5(100)
-	if err := out.table("fig5_scalefunc", r.Table()); err != nil {
-		return err
-	}
-	return out.csv("fig5_scalefunc", r.CSVCurve())
-}
-
-func runFig6(scale exp.Scale, out *writer) error {
-	r := exp.Fig6(scale)
-	if err := out.table("fig6_workload", r.Table()); err != nil {
-		return err
-	}
-	var sb strings.Builder
-	if err := r.Trace.WriteCSV(&sb); err != nil {
-		return err
-	}
-	return out.csv("fig6_workload", sb.String())
-}
-
-func runFig7(scale exp.Scale, out *writer) error {
-	r, err := exp.Fig7(scale, nil)
-	if err != nil {
-		return err
-	}
-	if err := out.table("fig7a_power", r.PowerTable()); err != nil {
-		return err
-	}
-	if err := out.table("fig7b_latency", r.LatencyTable()); err != nil {
-		return err
-	}
-	return out.table("fig7c_quality", r.QualityTable())
-}
-
-func runFig8(scale exp.Scale, out *writer) error {
-	r, err := exp.Fig8(scale)
-	if err != nil {
-		return err
-	}
-	if err := out.table("fig8_timeseries_summary", r.Table()); err != nil {
-		return err
-	}
-	return out.csv("fig8_timeseries", r.CSVSeries())
-}
-
-func runFig9(scale exp.Scale, out *writer) error {
-	for _, method := range []string{exp.MethodDeepPower, exp.MethodRetail, exp.MethodGemini} {
-		r, err := exp.Fig9(method, scale)
-		if err != nil {
-			return err
-		}
-		if err := out.table("fig9_"+method+"_summary", r.Summary()); err != nil {
-			return err
-		}
-		if err := out.csv("fig9_freq_"+method, exp.CSVFreqTrace(r.Trace)); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func runFig10(scale exp.Scale, out *writer) error {
-	for _, method := range []string{exp.MethodDeepPower, exp.MethodRetail, exp.MethodGemini} {
-		r, err := exp.Fig10(method, scale)
-		if err != nil {
-			return err
-		}
-		if err := out.table("fig10_"+method+"_summary", r.Summary()); err != nil {
-			return err
-		}
-		if err := out.csv("fig10_freq_"+method, exp.CSVFreqTrace(r.Trace)); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func runFig11(scale exp.Scale, out *writer) error {
-	r, err := exp.Fig11(scale)
-	if err != nil {
-		return err
-	}
-	for i, ft := range r.Traces {
-		name := fmt.Sprintf("fig11_b%.2g_s%.2g", r.Settings[i].BaseFreq, r.Settings[i].ScalingCoef)
-		if err := out.csv(name, exp.CSVFreqTrace(ft)); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func runOverhead(scale exp.Scale, out *writer) error {
-	r, err := exp.Overhead()
-	if err != nil {
-		return err
-	}
-	return out.table("overhead", r.Table())
-}
-
-func runAblation(scale exp.Scale, out *writer) error {
-	r, err := exp.Ablation(app.Xapian, scale, nil)
-	if err != nil {
-		return err
-	}
-	return out.table("ablation_xapian", r.Table())
-}
-
-func runGeneralization(scale exp.Scale, out *writer) error {
-	r, err := exp.Generalization(app.Xapian, scale)
-	if err != nil {
-		return err
-	}
-	return out.table("generalization_xapian", r.Table())
-}
-
-func runCrossover(scale exp.Scale, out *writer) error {
-	r, err := exp.Crossover(app.Xapian, scale, nil)
-	if err != nil {
-		return err
-	}
-	return out.table("crossover_xapian", r.Table())
-}
-
-func runColocation(scale exp.Scale, out *writer) error {
-	r, err := exp.Colocation(app.Xapian, scale, nil)
-	if err != nil {
-		return err
-	}
-	return out.table("colocation_xapian", r.Table())
-}
-
-func runRobustness(scale exp.Scale, out *writer) error {
-	r, err := exp.Robustness(scale, app.Xapian)
-	if err != nil {
-		return err
-	}
-	for i, t := range r.Tables() {
-		if err := out.table("robustness_xapian_"+r.Scenarios[i], t); err != nil {
-			return err
-		}
-	}
-	return nil
+	return os.WriteFile(filepath.Join(w.dir, a.Name+"."+a.Ext), []byte(a.Data), 0o644)
 }

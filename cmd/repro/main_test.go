@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -14,10 +15,10 @@ func TestWriterCreatesArtifacts(t *testing.T) {
 	w := &writer{dir: dir}
 	tbl := &exp.Table{Title: "t", Columns: []string{"a"}}
 	tbl.AddRow("1")
-	if err := w.table("demo", tbl); err != nil {
+	if err := w.write(exp.Artifact{Name: "demo", Ext: "txt", Data: tbl.Render()}); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.csv("demo", "a\n1\n"); err != nil {
+	if err := w.write(exp.Artifact{Name: "demo", Ext: "csv", Data: "a\n1\n"}); err != nil {
 		t.Fatal(err)
 	}
 	txt, err := os.ReadFile(filepath.Join(dir, "demo.txt"))
@@ -43,10 +44,10 @@ func TestExperimentRegistryComplete(t *testing.T) {
 		"robustness",
 	}
 	have := map[string]bool{}
-	for _, e := range experiments() {
-		have[e.name] = true
-		if e.run == nil {
-			t.Errorf("experiment %s has no runner", e.name)
+	for _, h := range exp.Harnesses() {
+		have[h.Name] = true
+		if h.Run == nil {
+			t.Errorf("experiment %s has no runner", h.Name)
 		}
 	}
 	for _, name := range want {
@@ -66,11 +67,17 @@ func TestCheapExperimentsRun(t *testing.T) {
 	scale := exp.Quick()
 	scale.Samples = 2000
 	for _, name := range []string{"fig1", "fig5", "fig6", "table1"} {
-		for _, e := range experiments() {
-			if e.name != name {
-				continue
-			}
-			if err := e.run(scale, w); err != nil {
+		h, err := exp.HarnessByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arts, err := h.Run(context.Background(), scale, 2)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		for _, a := range arts {
+			if err := w.write(a); err != nil {
 				t.Errorf("%s: %v", name, err)
 			}
 		}
@@ -81,5 +88,19 @@ func TestCheapExperimentsRun(t *testing.T) {
 	}
 	if len(entries) < 4 {
 		t.Errorf("only %d artifacts written", len(entries))
+	}
+}
+
+func TestCancelledContextRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, name := range []string{"fig1", "fig5", "table2", "overhead"} {
+		h, err := exp.HarnessByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Run(ctx, exp.Quick(), 2); err == nil {
+			t.Errorf("%s: cancelled context did not abort the harness", name)
+		}
 	}
 }

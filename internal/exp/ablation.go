@@ -1,10 +1,12 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/deeppower/deeppower/internal/agent"
 	"github.com/deeppower/deeppower/internal/baselines"
+	"github.com/deeppower/deeppower/internal/pool"
 	"github.com/deeppower/deeppower/internal/server"
 )
 
@@ -66,35 +68,45 @@ type AblationResult struct {
 	Results map[string]*server.Result
 }
 
-// Ablation trains and evaluates each variant on the given app.
-func Ablation(appName string, scale Scale, variants []AblationVariant) (*AblationResult, error) {
+// Ablation trains and evaluates each variant on the given app. Every
+// variant is one self-contained pool work unit that builds its own Setup,
+// trains its own agent, and evaluates it — no state is shared across
+// concurrently running variants.
+func Ablation(ctx context.Context, appName string, scale Scale, variants []AblationVariant, workers int) (*AblationResult, error) {
 	if variants == nil {
 		variants = AblationVariants
 	}
-	setup, err := NewSetup(appName, scale)
+	results, err := pool.Map(ctx, variants, workers,
+		func(_ context.Context, v AblationVariant, _ int) (*server.Result, error) {
+			setup, err := NewSetup(appName, scale)
+			if err != nil {
+				return nil, err
+			}
+			pol, err := v.Build(setup)
+			if err != nil {
+				return nil, fmt.Errorf("exp: ablation %s: %w", v.Name, err)
+			}
+			if _, err := agent.Train(pol, agent.TrainConfig{
+				Episodes:   scale.TrainEpisodes,
+				EpisodeLen: setup.Trace.Period,
+				Server:     setup.trainServerConfig(),
+				Trace:      setup.Trace,
+			}); err != nil {
+				return nil, fmt.Errorf("exp: ablation %s training: %w", v.Name, err)
+			}
+			res, err := setup.Evaluate(pol)
+			if err != nil {
+				return nil, fmt.Errorf("exp: ablation %s eval: %w", v.Name, err)
+			}
+			res.Policy = v.Name
+			return res, nil
+		})
 	if err != nil {
 		return nil, err
 	}
 	out := &AblationResult{App: appName, Results: map[string]*server.Result{}}
-	for _, v := range variants {
-		pol, err := v.Build(setup)
-		if err != nil {
-			return nil, fmt.Errorf("exp: ablation %s: %w", v.Name, err)
-		}
-		if _, err := agent.Train(pol, agent.TrainConfig{
-			Episodes:   scale.TrainEpisodes,
-			EpisodeLen: setup.Trace.Period,
-			Server:     setup.trainServerConfig(),
-			Trace:      setup.Trace,
-		}); err != nil {
-			return nil, fmt.Errorf("exp: ablation %s training: %w", v.Name, err)
-		}
-		res, err := setup.Evaluate(pol)
-		if err != nil {
-			return nil, fmt.Errorf("exp: ablation %s eval: %w", v.Name, err)
-		}
-		res.Policy = v.Name
-		out.Results[v.Name] = res
+	for i, v := range variants {
+		out.Results[v.Name] = results[i]
 	}
 	return out, nil
 }

@@ -1,6 +1,9 @@
 package exp
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestAblationQuick(t *testing.T) {
 	if testing.Short() {
@@ -16,7 +19,7 @@ func TestAblationQuick(t *testing.T) {
 			subset = append(subset, v)
 		}
 	}
-	r, err := Ablation("xapian", scale, subset)
+	r, err := Ablation(context.Background(), "xapian", scale, subset, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +42,7 @@ func TestGeneralizationQuick(t *testing.T) {
 	}
 	scale := Quick()
 	scale.TrainEpisodes = 8
-	r, err := Generalization("xapian", scale)
+	r, err := Generalization(context.Background(), "xapian", scale, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +70,7 @@ func TestCrossoverQuick(t *testing.T) {
 	}
 	scale := Quick()
 	scale.TrainEpisodes = 4
-	r, err := Crossover("xapian", scale, []string{MethodBaseline, MethodRetail, MethodRubik})
+	r, err := Crossover(context.Background(), "xapian", scale, []string{MethodBaseline, MethodRetail, MethodRubik}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +104,7 @@ func TestColocationQuick(t *testing.T) {
 	}
 	scale := Quick()
 	scale.TrainEpisodes = 8
-	r, err := Colocation("xapian", scale, []string{MethodBaseline, MethodRetail, MethodDeepPower})
+	r, err := Colocation(context.Background(), "xapian", scale, []string{MethodBaseline, MethodRetail, MethodDeepPower}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

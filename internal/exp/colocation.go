@@ -1,9 +1,11 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"github.com/deeppower/deeppower/internal/pool"
 	"github.com/deeppower/deeppower/internal/server"
 	"github.com/deeppower/deeppower/internal/sim"
 )
@@ -35,33 +37,41 @@ func neighborPhase(duration sim.Time) func(sim.Time) float64 {
 
 // Colocation evaluates methods under the phasing neighbor. Predictors are
 // profiled (and DeepPower trained) WITHOUT the neighbor, as in practice:
-// colocation changes after deployment.
-func Colocation(appName string, scale Scale, methods []string) (*ColocationResult, error) {
+// colocation changes after deployment. Each method is one self-contained
+// pool work unit with its own Setup, policy, and engine.
+func Colocation(ctx context.Context, appName string, scale Scale, methods []string, workers int) (*ColocationResult, error) {
 	if methods == nil {
 		methods = []string{MethodBaseline, MethodRetail, MethodGemini, MethodDeepPower}
 	}
-	setup, err := NewSetup(appName, scale)
+	results, err := pool.Map(ctx, methods, workers,
+		func(_ context.Context, m string, _ int) (*server.Result, error) {
+			setup, err := NewSetup(appName, scale)
+			if err != nil {
+				return nil, err
+			}
+			pol, err := setup.BuildPolicy(m)
+			if err != nil {
+				return nil, fmt.Errorf("exp: colocation %s: %w", m, err)
+			}
+			cfg := setup.ServerConfig(scale.Seed + 631)
+			cfg.Interference = neighborPhase(scale.EvalDuration)
+			eng := sim.NewEngine()
+			srv, err := server.New(eng, cfg, pol)
+			if err != nil {
+				return nil, err
+			}
+			res, err := srv.Run(setup.Trace, scale.EvalDuration)
+			if err != nil {
+				return nil, fmt.Errorf("exp: colocation %s: %w", m, err)
+			}
+			return res, nil
+		})
 	if err != nil {
 		return nil, err
 	}
 	out := &ColocationResult{App: appName, Methods: methods, Results: map[string]*server.Result{}}
-	for _, m := range methods {
-		pol, err := setup.BuildPolicy(m)
-		if err != nil {
-			return nil, fmt.Errorf("exp: colocation %s: %w", m, err)
-		}
-		cfg := setup.ServerConfig(scale.Seed + 631)
-		cfg.Interference = neighborPhase(scale.EvalDuration)
-		eng := sim.NewEngine()
-		srv, err := server.New(eng, cfg, pol)
-		if err != nil {
-			return nil, err
-		}
-		res, err := srv.Run(setup.Trace, scale.EvalDuration)
-		if err != nil {
-			return nil, fmt.Errorf("exp: colocation %s: %w", m, err)
-		}
-		out.Results[m] = res
+	for i, m := range methods {
+		out.Results[m] = results[i]
 	}
 	return out, nil
 }

@@ -1,8 +1,10 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
+	"github.com/deeppower/deeppower/internal/pool"
 	"github.com/deeppower/deeppower/internal/workload"
 )
 
@@ -24,13 +26,42 @@ type CrossoverResult struct {
 var CrossoverLoads = []float64{0.3, 0.5, 0.7, 0.85}
 
 // Crossover evaluates the methods across constant-rate loads for one app.
-// DeepPower is trained once on the standard diurnal setup and reused at
-// every level (its training distribution covers the swept range).
-func Crossover(appName string, scale Scale, methods []string) (*CrossoverResult, error) {
+// Each method is one self-contained pool work unit: it builds its own Setup
+// and policy (DeepPower is trained once per unit and reused at every level —
+// its training distribution covers the swept range), then sweeps the loads
+// serially inside the unit so the policy's state evolution stays identical
+// at any worker count.
+func Crossover(ctx context.Context, appName string, scale Scale, methods []string, workers int) (*CrossoverResult, error) {
 	if methods == nil {
 		methods = []string{MethodBaseline, MethodRubik, MethodRetail, MethodGemini, MethodDeepPower}
 	}
-	setup, err := NewSetup(appName, scale)
+	type sweep struct {
+		powerW []float64
+		slaMet []bool
+	}
+	sweeps, err := pool.Map(ctx, methods, workers,
+		func(_ context.Context, m string, _ int) (sweep, error) {
+			setup, err := NewSetup(appName, scale)
+			if err != nil {
+				return sweep{}, err
+			}
+			cap := setup.Prof.MaxCapacity(setup.Prof.RefFreq, scale.Seed)
+			pol, err := setup.BuildPolicy(m)
+			if err != nil {
+				return sweep{}, fmt.Errorf("exp: crossover %s: %w", m, err)
+			}
+			var sw sweep
+			for _, load := range CrossoverLoads {
+				trace := workload.Constant(load*cap, setup.Trace.Period)
+				res, err := runOn(setup, pol, trace, scale)
+				if err != nil {
+					return sweep{}, fmt.Errorf("exp: crossover %s@%v: %w", m, load, err)
+				}
+				sw.powerW = append(sw.powerW, res.AvgPowerW)
+				sw.slaMet = append(sw.slaMet, res.SLAMet)
+			}
+			return sw, nil
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -41,21 +72,9 @@ func Crossover(appName string, scale Scale, methods []string) (*CrossoverResult,
 		PowerW:  map[string][]float64{},
 		SLAMet:  map[string][]bool{},
 	}
-	cap := setup.Prof.MaxCapacity(setup.Prof.RefFreq, scale.Seed)
-	for _, m := range methods {
-		pol, err := setup.BuildPolicy(m)
-		if err != nil {
-			return nil, fmt.Errorf("exp: crossover %s: %w", m, err)
-		}
-		for _, load := range out.Loads {
-			trace := workload.Constant(load*cap, setup.Trace.Period)
-			res, err := runOn(setup, pol, trace, scale)
-			if err != nil {
-				return nil, fmt.Errorf("exp: crossover %s@%v: %w", m, load, err)
-			}
-			out.PowerW[m] = append(out.PowerW[m], res.AvgPowerW)
-			out.SLAMet[m] = append(out.SLAMet[m], res.SLAMet)
-		}
+	for i, m := range methods {
+		out.PowerW[m] = sweeps[i].powerW
+		out.SLAMet[m] = sweeps[i].slaMet
 	}
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -27,7 +28,10 @@ func TestTableRendering(t *testing.T) {
 func TestFig1(t *testing.T) {
 	scale := Quick()
 	scale.Samples = 30000
-	r := Fig1(scale)
+	r, err := Fig1(context.Background(), scale, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Apps) != 4 {
 		t.Fatalf("apps = %d, want 4", len(r.Apps))
 	}
@@ -59,7 +63,7 @@ func TestFig1(t *testing.T) {
 func TestFig2CrossLoadDegradation(t *testing.T) {
 	scale := Quick()
 	scale.Samples = 1500
-	r, err := Fig2(app.Masstree, scale)
+	r, err := Fig2(context.Background(), app.Masstree, scale, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +121,7 @@ func TestTable2Ordering(t *testing.T) {
 func TestTable3ShapeMatchesPaper(t *testing.T) {
 	scale := Quick()
 	scale.Workers = 0 // Table 3 needs the paper's worker counts
-	r, err := Table3(scale)
+	r, err := Table3(context.Background(), scale, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +235,7 @@ func TestFig7QuickXapian(t *testing.T) {
 	}
 	scale := Quick()
 	scale.TrainEpisodes = 10
-	r, err := Fig7(scale, []string{app.Xapian})
+	r, err := Fig7(context.Background(), scale, []string{app.Xapian}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +269,7 @@ func TestFig7QuickXapian(t *testing.T) {
 
 func TestFig11FixedParams(t *testing.T) {
 	scale := Quick()
-	r, err := Fig11(scale)
+	r, err := Fig11(context.Background(), scale, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,7 +295,7 @@ func TestFig4ControllerTrace(t *testing.T) {
 	}
 	scale := Quick()
 	scale.TrainEpisodes = 2
-	r, err := Fig4(scale)
+	r, err := Fig4(context.Background(), scale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,11 +313,11 @@ func TestFig9MethodsDiffer(t *testing.T) {
 	}
 	scale := Quick()
 	scale.TrainEpisodes = 8
-	retail, err := Fig9(MethodRetail, scale)
+	retail, err := Fig9(context.Background(), MethodRetail, scale)
 	if err != nil {
 		t.Fatal(err)
 	}
-	dp, err := Fig9(MethodDeepPower, scale)
+	dp, err := Fig9(context.Background(), MethodDeepPower, scale)
 	if err != nil {
 		t.Fatal(err)
 	}

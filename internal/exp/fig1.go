@@ -1,7 +1,10 @@
 package exp
 
 import (
+	"context"
+
 	"github.com/deeppower/deeppower/internal/app"
+	"github.com/deeppower/deeppower/internal/pool"
 	"github.com/deeppower/deeppower/internal/sim"
 	"github.com/deeppower/deeppower/internal/stats"
 )
@@ -16,16 +19,21 @@ type Fig1Result struct {
 	TailOverMean map[string]float64
 }
 
+// fig1Apps are the applications the paper plots.
+var fig1Apps = []string{app.Xapian, app.Masstree, app.Moses, app.Sphinx}
+
 // Fig1 samples each application's request population and builds normalized
-// service-time CDFs. The paper plots Xapian, Masstree, Moses, and Sphinx.
-func Fig1(scale Scale) *Fig1Result {
-	res := &Fig1Result{
-		Apps:         map[string][]stats.CDFPoint{},
-		TailOverMean: map[string]float64{},
+// service-time CDFs. Each application is one pool work unit with its own
+// profile and a private RNG derived from the "fig1-<app>" substream of the
+// experiment seed.
+func Fig1(ctx context.Context, scale Scale, workers int) (*Fig1Result, error) {
+	type fig1Out struct {
+		cdf  []stats.CDFPoint
+		tail float64
 	}
-	for _, name := range []string{app.Xapian, app.Masstree, app.Moses, app.Sphinx} {
+	outs, err := pool.Map(ctx, fig1Apps, workers, func(_ context.Context, name string, _ int) (fig1Out, error) {
 		prof := app.MustByName(name)
-		rng := sim.NewRNG(scale.Seed).Stream("fig1-" + name)
+		rng := sim.NewRNG(sim.SubSeed(scale.Seed, "fig1-"+name))
 		xs := make([]float64, scale.Samples)
 		for i := range xs {
 			xs[i] = prof.Sampler.Sample(rng).ServiceRef.Seconds()
@@ -35,10 +43,20 @@ func Fig1(scale Scale) *Fig1Result {
 		for i, x := range xs {
 			norm[i] = x / mean
 		}
-		res.Apps[name] = stats.CDF(norm, 200)
-		res.TailOverMean[name] = stats.Percentile(norm, 99.9)
+		return fig1Out{cdf: stats.CDF(norm, 200), tail: stats.Percentile(norm, 99.9)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res
+	res := &Fig1Result{
+		Apps:         map[string][]stats.CDFPoint{},
+		TailOverMean: map[string]float64{},
+	}
+	for i, name := range fig1Apps {
+		res.Apps[name] = outs[i].cdf
+		res.TailOverMean[name] = outs[i].tail
+	}
+	return res, nil
 }
 
 // Table renders the tail/mean summary.
@@ -47,7 +65,7 @@ func (r *Fig1Result) Table() *Table {
 		Title:   "Fig. 1 — service-time skew (normalized to mean)",
 		Columns: []string{"app", "p50/mean", "p99/mean", "p99.9/mean"},
 	}
-	for _, name := range []string{app.Xapian, app.Masstree, app.Moses, app.Sphinx} {
+	for _, name := range fig1Apps {
 		cdf := r.Apps[name]
 		t.AddRow(name, f2(quantileOf(cdf, 0.50)), f2(quantileOf(cdf, 0.99)), f2(r.TailOverMean[name]))
 	}
@@ -57,7 +75,7 @@ func (r *Fig1Result) Table() *Table {
 // CSVCurves renders all CDF curves as long-form CSV (app, x, p).
 func (r *Fig1Result) CSVCurves() string {
 	t := &Table{Columns: []string{"app", "service_over_mean", "cdf"}}
-	for _, name := range []string{app.Xapian, app.Masstree, app.Moses, app.Sphinx} {
+	for _, name := range fig1Apps {
 		for _, pt := range r.Apps[name] {
 			t.AddRow(name, f(pt.X), f(pt.P))
 		}

@@ -1,10 +1,12 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/deeppower/deeppower/internal/app"
 	"github.com/deeppower/deeppower/internal/baselines"
+	"github.com/deeppower/deeppower/internal/pool"
 	"github.com/deeppower/deeppower/internal/regress"
 	"github.com/deeppower/deeppower/internal/stats"
 )
@@ -25,25 +27,30 @@ type Fig2Result struct {
 }
 
 // Fig2 runs the motivation experiment for one application (the paper shows
-// Masstree and Sphinx).
-func Fig2(appName string, scale Scale) (*Fig2Result, error) {
-	prof := app.MustByName(appName)
-	if scale.Workers > 0 {
-		prof.Workers = scale.Workers
-	}
+// Masstree and Sphinx). Each load level's profiling run is one pool work
+// unit with its own profile and simulation; model fitting needs every
+// dataset and stays serial.
+func Fig2(ctx context.Context, appName string, scale Scale, workers int) (*Fig2Result, error) {
 	n := scale.Samples
 	if n > 5000 {
 		n = 5000 // profiling runs are simulation-bound; 5k is plenty for LR
 	}
 
 	// Collect a dataset at every load level.
-	datasets := make([][]baselines.ServiceSample, len(Fig2Loads))
-	for i, load := range Fig2Loads {
-		samples, err := baselines.CollectServiceData(prof, load, n, scale.Seed+int64(i)*101)
-		if err != nil {
-			return nil, fmt.Errorf("exp: fig2 load %v: %w", load, err)
-		}
-		datasets[i] = samples
+	datasets, err := pool.Map(ctx, Fig2Loads, workers,
+		func(_ context.Context, load float64, i int) ([]baselines.ServiceSample, error) {
+			prof := app.MustByName(appName)
+			if scale.Workers > 0 {
+				prof.Workers = scale.Workers
+			}
+			samples, err := baselines.CollectServiceData(prof, load, n, scale.Seed+int64(i)*101)
+			if err != nil {
+				return nil, fmt.Errorf("exp: fig2 load %v: %w", load, err)
+			}
+			return samples, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 
 	// Fit model_i on data_i; evaluate on every data_j.

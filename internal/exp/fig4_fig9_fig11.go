@@ -1,10 +1,12 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/deeppower/deeppower/internal/app"
 	"github.com/deeppower/deeppower/internal/control"
+	"github.com/deeppower/deeppower/internal/pool"
 	"github.com/deeppower/deeppower/internal/server"
 	"github.com/deeppower/deeppower/internal/sim"
 )
@@ -22,23 +24,26 @@ type FreqTraceResult struct {
 // controller with DRL-updated parameters (a trained DeepPower policy on
 // Xapian), reproducing Fig. 4's sawtooth ramps between request begin/end
 // markers.
-func Fig4(scale Scale) (*FreqTraceResult, error) {
-	return methodFreqTrace(app.Xapian, MethodDeepPower, scale, 2*sim.Second)
+func Fig4(ctx context.Context, scale Scale) (*FreqTraceResult, error) {
+	return methodFreqTrace(ctx, app.Xapian, MethodDeepPower, scale, 2*sim.Second)
 }
 
 // Fig9 records the same window under a chosen method for Xapian
 // (millisecond-scale latency; the paper contrasts DeepPower's gradual ramps
 // with ReTail's and Gemini's coarse per-request selections).
-func Fig9(method string, scale Scale) (*FreqTraceResult, error) {
-	return methodFreqTrace(app.Xapian, method, scale, 2*sim.Second)
+func Fig9(ctx context.Context, method string, scale Scale) (*FreqTraceResult, error) {
+	return methodFreqTrace(ctx, app.Xapian, method, scale, 2*sim.Second)
 }
 
 // Fig10 records Sphinx (second-scale latency) under a chosen method.
-func Fig10(method string, scale Scale) (*FreqTraceResult, error) {
-	return methodFreqTrace(app.Sphinx, method, scale, 10*sim.Second)
+func Fig10(ctx context.Context, method string, scale Scale) (*FreqTraceResult, error) {
+	return methodFreqTrace(ctx, app.Sphinx, method, scale, 10*sim.Second)
 }
 
-func methodFreqTrace(appName, method string, scale Scale, window sim.Time) (*FreqTraceResult, error) {
+func methodFreqTrace(ctx context.Context, appName, method string, scale Scale, window sim.Time) (*FreqTraceResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	setup, err := NewSetup(appName, scale)
 	if err != nil {
 		return nil, err
@@ -75,28 +80,32 @@ type Fig11Result struct {
 }
 
 // Fig11 runs Xapian under the bare thread controller with each fixed
-// parameter pair and records a 50 ms window of per-core frequencies.
-func Fig11(scale Scale) (*Fig11Result, error) {
-	out := &Fig11Result{Settings: Fig11Settings}
-	for _, params := range Fig11Settings {
-		setup, err := NewSetup(app.Xapian, scale)
-		if err != nil {
-			return nil, err
-		}
-		tc := control.NewThreadController(params)
-		eng := sim.NewEngine()
-		srv, err := server.New(eng, setup.ServerConfig(scale.Seed+7), tc)
-		if err != nil {
-			return nil, err
-		}
-		from := scale.EvalDuration / 3
-		ft := srv.EnableFreqTrace(from, from+50*sim.Millisecond)
-		if _, err := srv.Run(setup.Trace, from+51*sim.Millisecond+sim.Second); err != nil {
-			return nil, err
-		}
-		out.Traces = append(out.Traces, ft)
+// parameter pair and records a 50 ms window of per-core frequencies. Each
+// parameter setting is one self-contained pool work unit.
+func Fig11(ctx context.Context, scale Scale, workers int) (*Fig11Result, error) {
+	traces, err := pool.Map(ctx, Fig11Settings, workers,
+		func(_ context.Context, params control.Params, _ int) (*server.FreqTrace, error) {
+			setup, err := NewSetup(app.Xapian, scale)
+			if err != nil {
+				return nil, err
+			}
+			tc := control.NewThreadController(params)
+			eng := sim.NewEngine()
+			srv, err := server.New(eng, setup.ServerConfig(scale.Seed+7), tc)
+			if err != nil {
+				return nil, err
+			}
+			from := scale.EvalDuration / 3
+			ft := srv.EnableFreqTrace(from, from+50*sim.Millisecond)
+			if _, err := srv.Run(setup.Trace, from+51*sim.Millisecond+sim.Second); err != nil {
+				return nil, err
+			}
+			return ft, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &Fig11Result{Settings: Fig11Settings, Traces: traces}, nil
 }
 
 // Summary reduces a frequency trace to per-core mean frequency plus marker

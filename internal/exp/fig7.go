@@ -1,11 +1,13 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/deeppower/deeppower/internal/agent"
 	"github.com/deeppower/deeppower/internal/app"
 	"github.com/deeppower/deeppower/internal/baselines"
+	"github.com/deeppower/deeppower/internal/pool"
 	"github.com/deeppower/deeppower/internal/server"
 	"github.com/deeppower/deeppower/internal/sim"
 	"github.com/deeppower/deeppower/internal/workload"
@@ -184,29 +186,52 @@ type Fig7Result struct {
 	Results map[string]map[string]*server.Result // app → method → result
 }
 
-// Fig7 runs the full comparison for the given applications (nil = all five).
-func Fig7(scale Scale, apps []string) (*Fig7Result, error) {
+// fig7Unit is one (app, method) cell of the comparison grid.
+type fig7Unit struct {
+	app    string
+	method string
+}
+
+// Fig7 runs the full comparison for the given applications (nil = all
+// five). Every (app, method) cell is one self-contained pool work unit: it
+// builds its own Setup (profile, trace) and its own policy — including any
+// profiling or training the method needs — so nothing is shared between
+// concurrently running cells and the assembled result is identical at any
+// worker count.
+func Fig7(ctx context.Context, scale Scale, apps []string, workers int) (*Fig7Result, error) {
 	if apps == nil {
 		apps = app.Names()
 	}
-	out := &Fig7Result{Apps: apps, Results: map[string]map[string]*server.Result{}}
+	var units []fig7Unit
 	for _, name := range apps {
-		setup, err := NewSetup(name, scale)
+		for _, method := range Fig7Methods {
+			units = append(units, fig7Unit{app: name, method: method})
+		}
+	}
+	results, err := pool.Map(ctx, units, workers, func(_ context.Context, u fig7Unit, _ int) (*server.Result, error) {
+		setup, err := NewSetup(u.app, scale)
 		if err != nil {
 			return nil, err
 		}
-		out.Results[name] = map[string]*server.Result{}
-		for _, method := range Fig7Methods {
-			pol, err := setup.BuildPolicy(method)
-			if err != nil {
-				return nil, fmt.Errorf("exp: fig7 %s/%s: %w", name, method, err)
-			}
-			res, err := setup.Evaluate(pol)
-			if err != nil {
-				return nil, fmt.Errorf("exp: fig7 %s/%s: %w", name, method, err)
-			}
-			out.Results[name][method] = res
+		pol, err := setup.BuildPolicy(u.method)
+		if err != nil {
+			return nil, fmt.Errorf("exp: fig7 %s/%s: %w", u.app, u.method, err)
 		}
+		res, err := setup.Evaluate(pol)
+		if err != nil {
+			return nil, fmt.Errorf("exp: fig7 %s/%s: %w", u.app, u.method, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig7Result{Apps: apps, Results: map[string]map[string]*server.Result{}}
+	for i, u := range units {
+		if out.Results[u.app] == nil {
+			out.Results[u.app] = map[string]*server.Result{}
+		}
+		out.Results[u.app][u.method] = results[i]
 	}
 	return out, nil
 }

@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"context"
+
 	"github.com/deeppower/deeppower/internal/app"
 	"github.com/deeppower/deeppower/internal/server"
 	"github.com/deeppower/deeppower/internal/sim"
@@ -29,8 +31,12 @@ type Fig8Row struct {
 }
 
 // Fig8 trains DeepPower on the Xapian setup, then evaluates once with
-// series and action logging enabled.
-func Fig8(scale Scale) (*Fig8Result, error) {
+// series and action logging enabled. A single train+evaluate unit: the
+// context is checked on entry, not mid-run.
+func Fig8(ctx context.Context, scale Scale) (*Fig8Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	setup, err := NewSetup(app.Xapian, scale)
 	if err != nil {
 		return nil, err

@@ -1,8 +1,10 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
+	"github.com/deeppower/deeppower/internal/pool"
 	"github.com/deeppower/deeppower/internal/server"
 	"github.com/deeppower/deeppower/internal/sim"
 	"github.com/deeppower/deeppower/internal/workload"
@@ -21,61 +23,78 @@ type GeneralizationResult struct {
 	Baseline  map[string]*server.Result
 }
 
-// Generalization trains DeepPower on appName's standard diurnal setup and
-// evaluates the frozen policy across shifted workloads.
-func Generalization(appName string, scale Scale) (*GeneralizationResult, error) {
-	setup, err := NewSetup(appName, scale)
-	if err != nil {
-		return nil, err
-	}
-	dp, err := setup.TrainDeepPower()
-	if err != nil {
-		return nil, err
-	}
+// GeneralizationScenarios are the unseen workload shapes, in render order.
+var GeneralizationScenarios = []string{"diurnal-shifted-seed", "step", "spike"}
 
+// generalizationTrace builds one scenario's workload from a setup's trace
+// parameters. Deterministic in (setup, scale, name).
+func generalizationTrace(setup *Setup, scale Scale, name string) *workload.Trace {
 	peak := setup.Trace.MaxRate()
 	period := setup.Trace.Period
-	shiftedDiurnal := workload.Diurnal(workload.DiurnalConfig{
-		Period:    period,
-		Buckets:   len(setup.Trace.Rates),
-		BaseRPS:   1,
-		PeakRPS:   3,
-		NoiseFrac: 0.08,
-		BurstProb: 0.03,
-		BurstMul:  1.3,
-		Seed:      scale.Seed + 555,
-	}).ScaleToPeak(peak)
-
-	scenarios := []struct {
-		name  string
-		trace *workload.Trace
-	}{
-		{"diurnal-shifted-seed", shiftedDiurnal},
-		{"step", workload.Step(peak*0.25, peak, period, len(setup.Trace.Rates))},
-		{"spike", workload.Spike(peak*0.3, peak, period, len(setup.Trace.Rates), 0.1)},
+	switch name {
+	case "diurnal-shifted-seed":
+		return workload.Diurnal(workload.DiurnalConfig{
+			Period:    period,
+			Buckets:   len(setup.Trace.Rates),
+			BaseRPS:   1,
+			PeakRPS:   3,
+			NoiseFrac: 0.08,
+			BurstProb: 0.03,
+			BurstMul:  1.3,
+			Seed:      scale.Seed + 555,
+		}).ScaleToPeak(peak)
+	case "step":
+		return workload.Step(peak*0.25, peak, period, len(setup.Trace.Rates))
+	case "spike":
+		return workload.Spike(peak*0.3, peak, period, len(setup.Trace.Rates), 0.1)
 	}
+	panic("exp: unknown generalization scenario " + name)
+}
 
+// Generalization trains DeepPower on appName's standard diurnal setup and
+// evaluates the frozen policy across shifted workloads. Each scenario is
+// one self-contained pool work unit that deterministically retrains its own
+// copy of the policy (identical weights at every worker count) rather than
+// sharing one stateful agent across concurrent evaluations.
+func Generalization(ctx context.Context, appName string, scale Scale, workers int) (*GeneralizationResult, error) {
+	type genOut struct{ dp, base *server.Result }
+	outs, err := pool.Map(ctx, GeneralizationScenarios, workers,
+		func(_ context.Context, name string, _ int) (genOut, error) {
+			setup, err := NewSetup(appName, scale)
+			if err != nil {
+				return genOut{}, err
+			}
+			dp, err := setup.TrainDeepPower()
+			if err != nil {
+				return genOut{}, err
+			}
+			trace := generalizationTrace(setup, scale, name)
+			dpRes, err := runOn(setup, dp, trace, scale)
+			if err != nil {
+				return genOut{}, fmt.Errorf("exp: generalization %s: %w", name, err)
+			}
+			baseline, err := setup.BuildPolicy(MethodBaseline)
+			if err != nil {
+				return genOut{}, err
+			}
+			baseRes, err := runOn(setup, baseline, trace, scale)
+			if err != nil {
+				return genOut{}, fmt.Errorf("exp: generalization %s baseline: %w", name, err)
+			}
+			return genOut{dp: dpRes, base: baseRes}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	out := &GeneralizationResult{
 		App:       appName,
 		DeepPower: map[string]*server.Result{},
 		Baseline:  map[string]*server.Result{},
 	}
-	for _, sc := range scenarios {
-		out.Scenarios = append(out.Scenarios, sc.name)
-		dpRes, err := runOn(setup, dp, sc.trace, scale)
-		if err != nil {
-			return nil, fmt.Errorf("exp: generalization %s: %w", sc.name, err)
-		}
-		baseline, err := setup.BuildPolicy(MethodBaseline)
-		if err != nil {
-			return nil, err
-		}
-		baseRes, err := runOn(setup, baseline, sc.trace, scale)
-		if err != nil {
-			return nil, fmt.Errorf("exp: generalization %s baseline: %w", sc.name, err)
-		}
-		out.DeepPower[sc.name] = dpRes
-		out.Baseline[sc.name] = baseRes
+	for i, name := range GeneralizationScenarios {
+		out.Scenarios = append(out.Scenarios, name)
+		out.DeepPower[name] = outs[i].dp
+		out.Baseline[name] = outs[i].base
 	}
 	return out, nil
 }

@@ -1,10 +1,12 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/deeppower/deeppower/internal/cpu"
 	"github.com/deeppower/deeppower/internal/fault"
+	"github.com/deeppower/deeppower/internal/pool"
 	"github.com/deeppower/deeppower/internal/server"
 	"github.com/deeppower/deeppower/internal/sim"
 )
@@ -119,44 +121,67 @@ type RobustnessResult struct {
 	Guarded map[string]map[string]*server.Result
 }
 
+// robustnessUnit is one (scenario, method, guarded) evaluation cell.
+type robustnessUnit struct {
+	scenario Scenario
+	method   string
+	guarded  bool
+}
+
 // Robustness runs the fault-injection comparison: every method is trained
-// once on the clean trace, then evaluated both bare and wrapped in the
-// guarded-policy watchdog under each fault scenario. Policies that keep
-// state across runs (DeepPower's controller, the guard's window) are
-// rebuilt per evaluation.
-func Robustness(scale Scale, appName string) (*RobustnessResult, error) {
-	setup, err := NewSetup(appName, scale)
+// on the clean trace, then evaluated both bare and wrapped in the
+// guarded-policy watchdog under each fault scenario. Each (scenario,
+// method, bare/guarded) cell is one self-contained pool work unit that
+// rebuilds its own Setup and policy — policies keep state across runs
+// (DeepPower's controller, the guard's window), so nothing may be shared.
+func Robustness(ctx context.Context, scale Scale, appName string, workers int) (*RobustnessResult, error) {
+	var units []robustnessUnit
+	for _, sc := range Scenarios(scale.Seed) {
+		for _, method := range RobustnessMethods {
+			for _, guarded := range []bool{false, true} {
+				units = append(units, robustnessUnit{scenario: sc, method: method, guarded: guarded})
+			}
+		}
+	}
+	results, err := pool.Map(ctx, units, workers,
+		func(_ context.Context, u robustnessUnit, _ int) (*server.Result, error) {
+			setup, err := NewSetup(appName, scale)
+			if err != nil {
+				return nil, err
+			}
+			pol, err := setup.BuildPolicy(u.method)
+			if err != nil {
+				return nil, fmt.Errorf("exp: robustness %s/%s: %w", u.scenario.Name, u.method, err)
+			}
+			if u.guarded {
+				pol = fault.WithGuard(pol)
+			}
+			res, err := setup.EvaluateUnderFaults(pol, u.scenario.Plan)
+			if err != nil {
+				return nil, fmt.Errorf("exp: robustness %s/%s: %w", u.scenario.Name, u.method, err)
+			}
+			return res, nil
+		})
 	if err != nil {
 		return nil, err
 	}
+
 	out := &RobustnessResult{
 		App:     appName,
 		Bare:    map[string]map[string]*server.Result{},
 		Guarded: map[string]map[string]*server.Result{},
 	}
-	for _, sc := range Scenarios(scale.Seed) {
-		out.Scenarios = append(out.Scenarios, sc.Name)
-		out.Bare[sc.Name] = map[string]*server.Result{}
-		out.Guarded[sc.Name] = map[string]*server.Result{}
-		for _, method := range RobustnessMethods {
-			for _, guarded := range []bool{false, true} {
-				pol, err := setup.BuildPolicy(method)
-				if err != nil {
-					return nil, fmt.Errorf("exp: robustness %s/%s: %w", sc.Name, method, err)
-				}
-				if guarded {
-					pol = fault.WithGuard(pol)
-				}
-				res, err := setup.EvaluateUnderFaults(pol, sc.Plan)
-				if err != nil {
-					return nil, fmt.Errorf("exp: robustness %s/%s: %w", sc.Name, method, err)
-				}
-				if guarded {
-					out.Guarded[sc.Name][method] = res
-				} else {
-					out.Bare[sc.Name][method] = res
-				}
-			}
+	for i, u := range units {
+		name := u.scenario.Name
+		if out.Bare[name] == nil {
+			out.Scenarios = append(out.Scenarios, name)
+			out.Bare[name] = map[string]*server.Result{}
+			out.Guarded[name] = map[string]*server.Result{}
+		}
+		if u.guarded {
+			out.Guarded[name][u.method] = results[i]
+		} else {
+			out.Bare[name][u.method] = results[i]
 		}
 	}
 	return out, nil

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"testing"
 
 	"github.com/deeppower/deeppower/internal/app"
@@ -109,7 +110,7 @@ func TestRobustnessHarness(t *testing.T) {
 	}
 	scale := robustnessScale()
 	scale.EvalDuration = 10 * sim.Second
-	r, err := Robustness(scale, app.Xapian)
+	r, err := Robustness(context.Background(), scale, app.Xapian, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

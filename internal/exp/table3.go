@@ -1,10 +1,12 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/deeppower/deeppower/internal/app"
 	"github.com/deeppower/deeppower/internal/baselines"
+	"github.com/deeppower/deeppower/internal/pool"
 	"github.com/deeppower/deeppower/internal/server"
 	"github.com/deeppower/deeppower/internal/sim"
 	"github.com/deeppower/deeppower/internal/workload"
@@ -23,39 +25,60 @@ type Table3Result struct {
 	SLAms map[string]float64
 }
 
+// table3Unit is one self-contained (app, load) measurement cell.
+type table3Unit struct {
+	app  string
+	load float64
+}
+
 // Table3 measures every built-in application. Workers from scale override
-// the paper's counts for quick runs.
-func Table3(scale Scale) (*Table3Result, error) {
-	res := &Table3Result{P99ms: map[string][]float64{}, SLAms: map[string]float64{}}
+// the paper's counts for quick runs; the (app, load) grid runs on up to
+// workers concurrent pool workers, each cell with its own engine, server,
+// and profile, so the result is identical at any parallelism.
+func Table3(ctx context.Context, scale Scale, workers int) (*Table3Result, error) {
+	var units []table3Unit
 	for _, name := range app.Names() {
-		prof := app.MustByName(name)
+		for _, load := range Table3Loads {
+			units = append(units, table3Unit{app: name, load: load})
+		}
+	}
+	p99s, err := pool.Map(ctx, units, workers, func(_ context.Context, u table3Unit, _ int) (float64, error) {
+		prof := app.MustByName(u.app)
 		if scale.Workers > 0 {
 			prof.Workers = scale.Workers
 		}
-		res.SLAms[name] = prof.SLA.Milliseconds()
-		for _, load := range Table3Loads {
-			rate := load * prof.MaxCapacity(prof.RefFreq, scale.Seed)
-			// Aim for enough completions to resolve a p99; cap the
-			// virtual duration for the second-scale apps.
-			dur := sim.Seconds(20000 / rate)
-			if dur > 100*sim.Second {
-				dur = 100 * sim.Second
-			}
-			if dur < 10*sim.Second {
-				dur = 10 * sim.Second
-			}
-			eng := sim.NewEngine()
-			srv, err := server.New(eng, server.Config{App: prof, Seed: scale.Seed},
-				baselines.NewFixedFreq(prof.RefFreq))
-			if err != nil {
-				return nil, err
-			}
-			r, err := srv.Run(workload.Constant(rate, sim.Second), dur)
-			if err != nil {
-				return nil, fmt.Errorf("exp: table3 %s at %v: %w", name, load, err)
-			}
-			res.P99ms[name] = append(res.P99ms[name], r.Latency.P99*1000)
+		rate := u.load * prof.MaxCapacity(prof.RefFreq, scale.Seed)
+		// Aim for enough completions to resolve a p99; cap the
+		// virtual duration for the second-scale apps.
+		dur := sim.Seconds(20000 / rate)
+		if dur > 100*sim.Second {
+			dur = 100 * sim.Second
 		}
+		if dur < 10*sim.Second {
+			dur = 10 * sim.Second
+		}
+		eng := sim.NewEngine()
+		srv, err := server.New(eng, server.Config{App: prof, Seed: scale.Seed},
+			baselines.NewFixedFreq(prof.RefFreq))
+		if err != nil {
+			return 0, err
+		}
+		r, err := srv.Run(workload.Constant(rate, sim.Second), dur)
+		if err != nil {
+			return 0, fmt.Errorf("exp: table3 %s at %v: %w", u.app, u.load, err)
+		}
+		return r.Latency.P99 * 1000, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Table3Result{P99ms: map[string][]float64{}, SLAms: map[string]float64{}}
+	for _, name := range app.Names() {
+		res.SLAms[name] = app.MustByName(name).SLA.Milliseconds()
+	}
+	for i, u := range units {
+		res.P99ms[u.app] = append(res.P99ms[u.app], p99s[i])
 	}
 	return res, nil
 }

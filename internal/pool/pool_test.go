@@ -1,0 +1,218 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunExecutesEveryUnit(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		var ran [20]atomic.Bool
+		units := make([]Unit, len(ran))
+		for i := range units {
+			i := i
+			units[i] = func(context.Context) error { ran[i].Store(true); return nil }
+		}
+		if err := Run(context.Background(), units, workers); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range ran {
+			if !ran[i].Load() {
+				t.Errorf("workers=%d: unit %d never ran", workers, i)
+			}
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	if err := Run(context.Background(), nil, 4); err != nil {
+		t.Fatalf("empty grid: %v", err)
+	}
+}
+
+func TestClampWorkers(t *testing.T) {
+	want := runtime.GOMAXPROCS(0)
+	for _, w := range []int{0, -1, -100} {
+		if got := Clamp(w); got != want {
+			t.Errorf("Clamp(%d) = %d, want GOMAXPROCS %d", w, got, want)
+		}
+	}
+	if got := Clamp(7); got != 7 {
+		t.Errorf("Clamp(7) = %d", got)
+	}
+	// Run itself must accept degenerate worker counts.
+	var n atomic.Int32
+	units := []Unit{func(context.Context) error { n.Add(1); return nil }}
+	for _, w := range []int{0, -5} {
+		if err := Run(context.Background(), units, w); err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+	}
+	if n.Load() != 2 {
+		t.Errorf("unit ran %d times, want 2", n.Load())
+	}
+}
+
+func TestCancellationMidGrid(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int32
+	release := make(chan struct{})
+	units := make([]Unit, 50)
+	for i := range units {
+		units[i] = func(context.Context) error {
+			started.Add(1)
+			<-release
+			return nil
+		}
+	}
+	done := make(chan error, 1)
+	go func() { done <- Run(ctx, units, 2) }()
+
+	// Wait for both workers to be mid-unit, cancel, then release them.
+	for started.Load() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	close(release)
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run deadlocked after cancellation")
+	}
+	// Only the in-flight units (plus at most the one blocked in dispatch)
+	// may have started; the rest of the grid must never run.
+	if s := started.Load(); s > 3 {
+		t.Errorf("%d units started after mid-grid cancel, want <= 3", s)
+	}
+}
+
+func TestPanicSurfacesAsError(t *testing.T) {
+	var after atomic.Bool
+	units := []Unit{
+		func(context.Context) error { panic("boom") },
+		func(context.Context) error { after.Store(true); return nil },
+	}
+	done := make(chan error, 1)
+	go func() { done <- Run(context.Background(), units, 1) }()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "boom") {
+			t.Fatalf("err = %v, want captured panic", err)
+		}
+		if !strings.Contains(err.Error(), "pool_test.go") {
+			t.Errorf("panic error lacks a stack trace: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run deadlocked after panic")
+	}
+	// Fail-fast: with one worker the unit after the panic is never dispatched.
+	if after.Load() {
+		t.Error("unit after panicking unit still ran")
+	}
+}
+
+func TestFirstErrorPropagationIsDeterministic(t *testing.T) {
+	// Several units fail; the returned error must be the lowest-indexed
+	// one regardless of worker count or completion order.
+	for _, workers := range []int{1, 2, 8} {
+		units := make([]Unit, 10)
+		for i := range units {
+			i := i
+			units[i] = func(context.Context) error {
+				if i%3 == 1 { // units 1, 4, 7 fail
+					return fmt.Errorf("unit %d failed", i)
+				}
+				return nil
+			}
+		}
+		err := Run(context.Background(), units, workers)
+		if err == nil || err.Error() != "unit 1 failed" {
+			t.Errorf("workers=%d: err = %v, want unit 1's error", workers, err)
+		}
+	}
+}
+
+func TestProgressCallbackOrdering(t *testing.T) {
+	const n = 30
+	units := make([]Unit, n)
+	for i := range units {
+		units[i] = func(context.Context) error { return nil }
+	}
+	var (
+		mu    sync.Mutex
+		dones []int
+		seen  = map[int]int{}
+	)
+	err := RunNotify(context.Background(), units, 4, func(p Progress) {
+		mu.Lock()
+		defer mu.Unlock()
+		dones = append(dones, p.Done)
+		seen[p.Index]++
+		if p.Total != n {
+			t.Errorf("Total = %d, want %d", p.Total, n)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dones) != n {
+		t.Fatalf("%d callbacks, want %d", len(dones), n)
+	}
+	for i, d := range dones {
+		if d != i+1 {
+			t.Fatalf("callback %d reported Done=%d, want %d (strictly increasing)", i, d, i+1)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if seen[i] != 1 {
+			t.Errorf("unit %d reported %d times", i, seen[i])
+		}
+	}
+}
+
+func TestMapOrderIndependentOfScheduling(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	out, err := Map(context.Background(), items, 8, func(_ context.Context, v, idx int) (string, error) {
+		if v != idx {
+			t.Errorf("item %d delivered with idx %d", v, idx)
+		}
+		// Stagger completions so results would interleave if assembled by
+		// completion order.
+		time.Sleep(time.Duration(v%7) * time.Millisecond)
+		return fmt.Sprintf("r%d", v), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range out {
+		if want := fmt.Sprintf("r%d", i); s != want {
+			t.Fatalf("out[%d] = %q, want %q", i, s, want)
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	_, err := Map(context.Background(), []int{0, 1, 2}, 2, func(_ context.Context, v, _ int) (int, error) {
+		if v == 1 {
+			return 0, errors.New("nope")
+		}
+		return v, nil
+	})
+	if err == nil || err.Error() != "nope" {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -26,10 +26,23 @@ func (r *RNG) Seed() int64 { return r.seed }
 // Stream derives an independent generator keyed by name. Streams derived
 // from the same (seed, name) pair are identical across runs.
 func (r *RNG) Stream(name string) *RNG {
+	return NewRNG(SubSeed(r.seed, name))
+}
+
+// SubSeed derives a deterministic child seed from (seed, name). It is the
+// seed arithmetic behind Stream, exposed so that parallel experiment work
+// units can each construct their own private RNG from a named substream of
+// the experiment seed without sharing any generator state:
+//
+//	rng := sim.NewRNG(sim.SubSeed(scale.Seed, "fig7/xapian/retail"))
+//
+// Identical (seed, name) pairs yield identical substreams on every run and
+// platform, which is what makes a parallel grid byte-identical to a serial
+// one.
+func SubSeed(seed int64, name string) int64 {
 	h := fnv.New64a()
 	_, _ = h.Write([]byte(name))
-	derived := int64(h.Sum64() ^ (uint64(r.seed) * 0x9E3779B97F4A7C15))
-	return NewRNG(derived)
+	return int64(h.Sum64() ^ (uint64(seed) * 0x9E3779B97F4A7C15))
 }
 
 // Exp samples an exponential with the given rate (events per unit).

@@ -14,6 +14,7 @@
 //	repro -only fig7,table3
 //	repro -parallel 1     # serial execution
 //	repro -out results
+//	repro -cpuprofile cpu.prof -memprofile mem.prof   # pprof the run
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -41,8 +43,36 @@ func main() {
 		outDir    = flag.String("out", "results", "output directory")
 		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0),
 			"worker count for experiment grids (<= 0 means GOMAXPROCS)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memProfile == "" {
+			return
+		}
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			log.Fatalf("memprofile: %v", err)
+		}
+		defer f.Close()
+		runtime.GC() // get up-to-date allocation statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatalf("memprofile: %v", err)
+		}
+	}()
 
 	var scale exp.Scale
 	switch *scaleName {

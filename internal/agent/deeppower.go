@@ -124,6 +124,11 @@ type DeepPower struct {
 	lastState  []float64
 	lastAction []float64
 
+	// batchBuf is the reused minibatch buffer for replay sampling
+	// (rl.Replay.SampleInto), so the steady-state train loop allocates
+	// nothing per update.
+	batchBuf []rl.Transition
+
 	// Log holds per-step records when RecordLog is set.
 	Log []LogPoint
 	// EpisodeReturn accumulates reward over the current episode.
@@ -249,8 +254,12 @@ func (dp *DeepPower) agentStep(now sim.Time) {
 			NextState: state,
 		})
 		if dp.step >= dp.cfg.WarmupSteps && dp.replay.Len() >= dp.cfg.BatchSize {
+			if dp.batchBuf == nil {
+				dp.batchBuf = make([]rl.Transition, dp.cfg.BatchSize)
+			}
 			for u := 0; u < dp.cfg.UpdatesPerStep; u++ {
-				dp.CriticLoss, dp.ActorLoss = dp.agent.Update(dp.replay.Sample(dp.cfg.BatchSize))
+				dp.replay.SampleInto(dp.batchBuf)
+				dp.CriticLoss, dp.ActorLoss = dp.agent.Update(dp.batchBuf)
 			}
 		}
 	}

@@ -91,6 +91,9 @@ type DQNPower struct {
 	lastState  []float64
 	lastAction int
 
+	// batchBuf is the reused minibatch buffer for replay sampling.
+	batchBuf []rl.Transition
+
 	// EpisodeReturn accumulates reward over the current episode.
 	EpisodeReturn float64
 }
@@ -187,8 +190,12 @@ func (dq *DQNPower) agentStep(now sim.Time) {
 			NextState: state,
 		})
 		if dq.step >= dq.cfg.WarmupSteps && dq.replay.Len() >= dq.cfg.BatchSize {
+			if dq.batchBuf == nil {
+				dq.batchBuf = make([]rl.Transition, dq.cfg.BatchSize)
+			}
 			for u := 0; u < dq.cfg.UpdatesPerStep; u++ {
-				dq.agent.Update(dq.replay.Sample(dq.cfg.BatchSize))
+				dq.replay.SampleInto(dq.batchBuf)
+				dq.agent.Update(dq.batchBuf)
 			}
 		}
 	}

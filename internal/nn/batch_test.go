@@ -1,0 +1,172 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"github.com/deeppower/deeppower/internal/sim"
+)
+
+// randBatch fills a row-major [n×dim] buffer with values in (-1.5, 1.5) —
+// wide enough to hit both ReLU regimes and the tanh/sigmoid curvature.
+func randBatch(rng *sim.RNG, n, dim int) []float64 {
+	x := make([]float64, n*dim)
+	for i := range x {
+		x[i] = rng.Uniform(-1.5, 1.5)
+	}
+	return x
+}
+
+// bitEq compares float64 slices for exact bit equality (no tolerance: the
+// batched kernels promise the same arithmetic in the same order).
+func bitEq(t *testing.T, what string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d vs %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s[%d]: batched %v (bits %x) vs per-sample %v (bits %x)",
+				what, i, got[i], math.Float64bits(got[i]), want[i], math.Float64bits(want[i]))
+		}
+	}
+}
+
+// TestDenseBatchBitIdentity asserts ForwardBatch/BackwardBatch reproduce n
+// per-sample Forward/Backward calls bit-for-bit — outputs, accumulated
+// weight/bias gradients, and input gradients — for every activation and for
+// batch sizes around the blocking tile.
+func TestDenseBatchBitIdentity(t *testing.T) {
+	for _, act := range []Activation{Identity, ReLU, Sigmoid, Tanh} {
+		for _, n := range []int{1, 3, blockRows, blockRows + 5, 64} {
+			rng := sim.NewRNG(11)
+			ref := NewDense(9, 7, act, rng)
+			bat := ref.Clone()
+			x := randBatch(rng, n, ref.In)
+			dy := randBatch(rng, n, ref.Out)
+
+			// Per-sample reference: accumulate gradients across the batch.
+			refY := make([]float64, n*ref.Out)
+			refDX := make([]float64, n*ref.In)
+			for b := 0; b < n; b++ {
+				y := ref.Forward(x[b*ref.In : (b+1)*ref.In])
+				copy(refY[b*ref.Out:], y)
+				dx := ref.Backward(dy[b*ref.Out : (b+1)*ref.Out])
+				copy(refDX[b*ref.In:], dx)
+			}
+
+			gotY := bat.ForwardBatch(x, n)
+			gotDX := bat.BackwardBatch(dy, n)
+
+			bitEq(t, act.String()+" y", gotY, refY)
+			bitEq(t, act.String()+" dx", gotDX, refDX)
+			bitEq(t, act.String()+" GW", bat.GW, ref.GW)
+			bitEq(t, act.String()+" GB", bat.GB, ref.GB)
+		}
+	}
+}
+
+// netBitIdentity runs the per-sample and batched paths of two clones of the
+// same network and asserts outputs, input gradients, and every parameter
+// gradient agree bit-for-bit.
+func netBitIdentity(t *testing.T, ref, bat Network, n int, seed int64) {
+	t.Helper()
+	rng := sim.NewRNG(seed)
+	in, out := ref.InDim(), ref.OutDim()
+	x := randBatch(rng, n, in)
+	dy := randBatch(rng, n, out)
+
+	refY := make([]float64, n*out)
+	refDX := make([]float64, n*in)
+	for b := 0; b < n; b++ {
+		y := ref.Forward(x[b*in : (b+1)*in])
+		copy(refY[b*out:], y)
+		dx := ref.Backward(dy[b*out : (b+1)*out])
+		copy(refDX[b*in:], dx)
+	}
+
+	gotY := bat.ForwardBatch(x, n)
+	gotDX := bat.BackwardBatch(dy, n)
+
+	bitEq(t, "y", gotY, refY)
+	bitEq(t, "dx", gotDX, refDX)
+	rp, bp := ref.Params(), bat.Params()
+	if len(rp) != len(bp) {
+		t.Fatalf("param count %d vs %d", len(rp), len(bp))
+	}
+	for li := range rp {
+		bitEq(t, "GW", bp[li].GW, rp[li].GW)
+		bitEq(t, "GB", bp[li].GB, rp[li].GB)
+	}
+}
+
+func TestMLPBatchBitIdentity(t *testing.T) {
+	for _, outAct := range []Activation{Identity, ReLU, Sigmoid, Tanh} {
+		rng := sim.NewRNG(13)
+		ref := NewMLP([]int{8, 32, 24, 16, 2}, ReLU, outAct, rng)
+		netBitIdentity(t, ref, ref.Clone(), 64, 17)
+	}
+}
+
+func TestTwoHeadBatchBitIdentity(t *testing.T) {
+	for _, outAct := range []Activation{Identity, ReLU, Sigmoid, Tanh} {
+		rng := sim.NewRNG(19)
+		ref := NewTwoHead(8, []int{32, 24}, []int{16}, 2, outAct, rng)
+		netBitIdentity(t, ref, ref.CloneNet(), 64, 23)
+	}
+	// Degenerate topologies: no trunk, and heads that attach directly to
+	// the trunk output.
+	rng := sim.NewRNG(29)
+	ref := NewTwoHead(6, nil, []int{8}, 3, Sigmoid, rng)
+	netBitIdentity(t, ref, ref.CloneNet(), 10, 31)
+	rng = sim.NewRNG(37)
+	ref = NewTwoHead(6, []int{12}, nil, 2, Tanh, rng)
+	netBitIdentity(t, ref, ref.CloneNet(), 10, 41)
+}
+
+// TestBatchKernelsZeroAlloc: after a warm-up call has grown the scratch
+// arenas, the batched forward/backward kernels must never touch the heap.
+func TestBatchKernelsZeroAlloc(t *testing.T) {
+	rng := sim.NewRNG(43)
+	const n = 64
+	for name, net := range map[string]Network{
+		"mlp":     NewMLP([]int{8, 32, 24, 16, 2}, ReLU, Sigmoid, rng),
+		"twohead": NewTwoHead(8, []int{32, 24}, []int{16}, 2, Sigmoid, rng),
+	} {
+		x := randBatch(rng, n, net.InDim())
+		dy := randBatch(rng, n, net.OutDim())
+		net.ForwardBatch(x, n) // warm-up grows arenas
+		net.BackwardBatch(dy, n)
+		allocs := testing.AllocsPerRun(10, func() {
+			net.ForwardBatch(x, n)
+			net.BackwardBatch(dy, n)
+			net.ZeroGrad()
+		})
+		if allocs != 0 {
+			t.Errorf("%s: batched step allocates %v times, want 0", name, allocs)
+		}
+	}
+}
+
+// TestBackwardScratchReused pins the documented Backward contract: the
+// returned dL/dx slice is layer-owned scratch, not a fresh allocation.
+func TestBackwardScratchReused(t *testing.T) {
+	rng := sim.NewRNG(47)
+	d := NewDense(4, 3, ReLU, rng)
+	x := []float64{0.1, -0.2, 0.3, 0.4}
+	dy := []float64{1, -1, 0.5}
+	d.Forward(x)
+	first := d.Backward(dy)
+	d.Forward(x)
+	second := d.Backward(dy)
+	if &first[0] != &second[0] {
+		t.Error("Backward allocated a fresh dx instead of reusing scratch")
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		d.Forward(x)
+		d.Backward(dy)
+	})
+	if allocs != 0 {
+		t.Errorf("per-sample Forward/Backward allocates %v times, want 0", allocs)
+	}
+}

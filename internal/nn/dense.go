@@ -77,7 +77,9 @@ func (a Activation) DerivFromOutput(y float64) float64 {
 
 // Dense is one fully-connected layer y = σ(Wx + b) with gradient
 // accumulation. It is not safe for concurrent use: Forward caches the
-// activations Backward consumes.
+// activations Backward consumes, and ForwardBatch likewise caches for
+// BackwardBatch. The per-sample and batched paths keep separate caches, but
+// a Backward must always pair with the Forward variant that preceded it.
 type Dense struct {
 	In, Out int
 	W       []float64 // Out×In, row-major
@@ -87,8 +89,14 @@ type Dense struct {
 	// Accumulated gradients (same shapes as W, B).
 	GW, GB []float64
 
-	// Forward cache.
-	x, y []float64
+	// Forward cache (per-sample path) and the Backward dx scratch.
+	x, y, dx []float64
+
+	// Batched-path caches: row-major [batch×In] inputs, [batch×Out]
+	// outputs, [batch×In] input-gradient scratch, and the row count of the
+	// most recent ForwardBatch. Grown on demand, then reused.
+	bx, by, bdx []float64
+	bn          int
 }
 
 // NewDense returns a layer with Xavier/Glorot-uniform initialized weights.
@@ -104,6 +112,7 @@ func NewDense(in, out int, act Activation, rng *sim.RNG) *Dense {
 		GB: make([]float64, out),
 		x:  make([]float64, in),
 		y:  make([]float64, out),
+		dx: make([]float64, in),
 	}
 	limit := math.Sqrt(6.0 / float64(in+out))
 	for i := range d.W {
@@ -132,12 +141,16 @@ func (d *Dense) Forward(x []float64) []float64 {
 
 // Backward takes dL/dy (w.r.t. the post-activation output of the most
 // recent Forward), accumulates dL/dW and dL/db, and returns dL/dx.
-// The returned slice is freshly allocated.
+// The returned slice is a layer-owned scratch buffer, overwritten by the
+// next Backward call; copy it to retain.
 func (d *Dense) Backward(dy []float64) []float64 {
 	if len(dy) != d.Out {
 		panic(fmt.Sprintf("nn: Backward gradient %d, layer outputs %d", len(dy), d.Out))
 	}
-	dx := make([]float64, d.In)
+	dx := d.dx
+	for i := range dx {
+		dx[i] = 0
+	}
 	for o := 0; o < d.Out; o++ {
 		delta := dy[o] * d.Act.DerivFromOutput(d.y[o])
 		d.GB[o] += delta
@@ -149,6 +162,140 @@ func (d *Dense) Backward(dy []float64) []float64 {
 		}
 	}
 	return dx
+}
+
+// blockRows is the historical batch-tile height; the bit-identity tests
+// still probe batch sizes around it to catch edge effects at tile
+// boundaries.
+const blockRows = 8
+
+// ensureBatch grows the batched caches to hold n rows.
+func (d *Dense) ensureBatch(n int) {
+	if cap(d.bx) < n*d.In {
+		d.bx = make([]float64, n*d.In)
+		d.bdx = make([]float64, n*d.In)
+	}
+	if cap(d.by) < n*d.Out {
+		d.by = make([]float64, n*d.Out)
+	}
+	d.bx = d.bx[:n*d.In]
+	d.by = d.by[:n*d.Out]
+	d.bdx = d.bdx[:n*d.In]
+	d.bn = n
+}
+
+// ForwardBatch computes the layer output for n row-major [n×In] inputs and
+// caches both sides for BackwardBatch. The returned [n×Out] slice is a
+// layer-owned buffer reused between calls.
+//
+// The kernel computes four output units at once per sample: four
+// independent accumulator chains hide the floating-point add latency that
+// serializes a single dot product, and each input element is loaded once
+// for all four units. Every accumulator still sums its row in the exact
+// index order of Forward (seeded from the bias), so a ForwardBatch over n
+// inputs is bit-identical to n Forward calls.
+func (d *Dense) ForwardBatch(x []float64, n int) []float64 {
+	if n <= 0 || len(x) != n*d.In {
+		panic(fmt.Sprintf("nn: ForwardBatch input %d, want %d rows × %d", len(x), n, d.In))
+	}
+	d.ensureBatch(n)
+	copy(d.bx, x)
+	in, out := d.In, d.Out
+	for b := 0; b < n; b++ {
+		xrow := d.bx[b*in : (b+1)*in : (b+1)*in]
+		yrow := d.by[b*out : (b+1)*out]
+		o := 0
+		for ; o+4 <= out; o += 4 {
+			r0 := d.W[o*in : (o+1)*in : (o+1)*in]
+			r1 := d.W[(o+1)*in : (o+2)*in : (o+2)*in]
+			r2 := d.W[(o+2)*in : (o+3)*in : (o+3)*in]
+			r3 := d.W[(o+3)*in : (o+4)*in : (o+4)*in]
+			s0, s1, s2, s3 := d.B[o], d.B[o+1], d.B[o+2], d.B[o+3]
+			for i, xi := range xrow {
+				s0 += r0[i] * xi
+				s1 += r1[i] * xi
+				s2 += r2[i] * xi
+				s3 += r3[i] * xi
+			}
+			yrow[o] = d.Act.Apply(s0)
+			yrow[o+1] = d.Act.Apply(s1)
+			yrow[o+2] = d.Act.Apply(s2)
+			yrow[o+3] = d.Act.Apply(s3)
+		}
+		for ; o < out; o++ {
+			row := d.W[o*in : (o+1)*in : (o+1)*in]
+			sum := d.B[o]
+			for i, xi := range xrow {
+				sum += row[i] * xi
+			}
+			yrow[o] = d.Act.Apply(sum)
+		}
+	}
+	return d.by
+}
+
+// BackwardBatch takes dL/dy for the most recent ForwardBatch ([n×Out],
+// row-major), accumulates dL/dW and dL/db, and returns dL/dx as an [n×In]
+// layer-owned scratch buffer.
+//
+// Accumulation order is preserved exactly: each gradient element receives
+// its per-sample contributions in ascending sample order, and each dx
+// element sums over output units in ascending order — matching n sequential
+// Backward calls bit-for-bit.
+func (d *Dense) BackwardBatch(dy []float64, n int) []float64 {
+	if n != d.bn {
+		panic(fmt.Sprintf("nn: BackwardBatch rows %d, last ForwardBatch had %d", n, d.bn))
+	}
+	if len(dy) != n*d.Out {
+		panic(fmt.Sprintf("nn: BackwardBatch gradient %d, want %d rows × %d", len(dy), n, d.Out))
+	}
+	bdx := d.bdx
+	for i := range bdx {
+		bdx[i] = 0
+	}
+	in, out := d.In, d.Out
+	// Samples stay in the outer loop so every GW/GB element receives its
+	// per-sample contributions in ascending sample order; within a sample,
+	// output units are processed two at a time — the paired updates stay
+	// separate add statements (t += δ0·w0; t += δ1·w1), preserving the
+	// per-element rounding sequence of sequential Backward calls while
+	// sharing each input load across both units.
+	for b := 0; b < n; b++ {
+		xrow := d.bx[b*in : (b+1)*in : (b+1)*in]
+		dxrow := bdx[b*in : (b+1)*in : (b+1)*in]
+		yrow := d.by[b*out : (b+1)*out]
+		dyrow := dy[b*out : (b+1)*out]
+		o := 0
+		for ; o+2 <= out; o += 2 {
+			d0 := dyrow[o] * d.Act.DerivFromOutput(yrow[o])
+			d1 := dyrow[o+1] * d.Act.DerivFromOutput(yrow[o+1])
+			d.GB[o] += d0
+			d.GB[o+1] += d1
+			r0 := d.W[o*in : (o+1)*in : (o+1)*in]
+			r1 := d.W[(o+1)*in : (o+2)*in : (o+2)*in]
+			g0 := d.GW[o*in : (o+1)*in : (o+1)*in]
+			g1 := d.GW[(o+1)*in : (o+2)*in : (o+2)*in]
+			for i, xi := range xrow {
+				g0[i] += d0 * xi
+				g1[i] += d1 * xi
+				t := dxrow[i]
+				t += d0 * r0[i]
+				t += d1 * r1[i]
+				dxrow[i] = t
+			}
+		}
+		for ; o < out; o++ {
+			delta := dyrow[o] * d.Act.DerivFromOutput(yrow[o])
+			d.GB[o] += delta
+			row := d.W[o*in : (o+1)*in : (o+1)*in]
+			grow := d.GW[o*in : (o+1)*in : (o+1)*in]
+			for i, xi := range xrow {
+				grow[i] += delta * xi
+				dxrow[i] += delta * row[i]
+			}
+		}
+	}
+	return bdx
 }
 
 // ZeroGrad clears accumulated gradients.
@@ -174,6 +321,7 @@ func (d *Dense) Clone() *Dense {
 		GB: make([]float64, len(d.GB)),
 		x:  make([]float64, d.In),
 		y:  make([]float64, d.Out),
+		dx: make([]float64, d.In),
 	}
 	return c
 }

@@ -49,6 +49,26 @@ func (m *MLP) Backward(dy []float64) []float64 {
 	return dy
 }
 
+// ForwardBatch evaluates the network on n row-major [n×InDim] inputs. The
+// returned [n×OutDim] slice aliases the last layer's batch buffer.
+func (m *MLP) ForwardBatch(x []float64, n int) []float64 {
+	for _, l := range m.Layers {
+		x = l.ForwardBatch(x, n)
+	}
+	return x
+}
+
+// BackwardBatch propagates dL/dy of the most recent ForwardBatch ([n×OutDim],
+// row-major) through the network, accumulating parameter gradients, and
+// returns dL/dinput as [n×InDim]. Bit-identical to n sequential
+// Forward/Backward pairs (see Dense.BackwardBatch).
+func (m *MLP) BackwardBatch(dy []float64, n int) []float64 {
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		dy = m.Layers[i].BackwardBatch(dy, n)
+	}
+	return dy
+}
+
 // ZeroGrad clears gradients on every layer.
 func (m *MLP) ZeroGrad() {
 	for _, l := range m.Layers {
@@ -145,6 +165,7 @@ func Load(r io.Reader) (*MLP, error) {
 			GB: make([]float64, len(ls.B)),
 			x:  make([]float64, ls.In),
 			y:  make([]float64, ls.Out),
+			dx: make([]float64, ls.In),
 		}
 		m.Layers = append(m.Layers, d)
 	}

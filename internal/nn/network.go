@@ -13,6 +13,15 @@ type Network interface {
 	// Backward propagates dL/dy of the latest Forward and accumulates
 	// parameter gradients, returning dL/dinput.
 	Backward(dy []float64) []float64
+	// ForwardBatch evaluates n row-major [n×InDim] inputs at once; the
+	// [n×OutDim] result aliases internal buffers. Bit-identical to n
+	// Forward calls, but allocation-free and cache-blocked.
+	ForwardBatch(x []float64, n int) []float64
+	// BackwardBatch propagates [n×OutDim] output gradients of the latest
+	// ForwardBatch, accumulating parameter gradients in ascending sample
+	// order (bit-identical to n Forward/Backward pairs), and returns
+	// dL/dinput as [n×InDim].
+	BackwardBatch(dy []float64, n int) []float64
 	// ZeroGrad clears accumulated gradients.
 	ZeroGrad()
 	// NumParams counts trainable parameters.

@@ -21,6 +21,14 @@ type TwoHead struct {
 
 	trunkOut []float64
 	out      []float64
+	params   []*Dense  // cached Params() result (layer set never changes)
+	headDy   []float64 // len-1 per-head backprop seed scratch
+
+	// Batched-path scratch ([batch×dim] row-major), grown on demand.
+	trunkOutB []float64
+	outB      []float64
+	headDyB   []float64
+	bn        int
 }
 
 // NewTwoHead builds a two-headed network: in → trunk sizes → per-head sizes
@@ -47,7 +55,29 @@ func NewTwoHead(in int, trunk, head []int, heads int, outAct Activation, rng *si
 		stack = append(stack, NewDense(prev, 1, outAct, rng))
 		t.Heads = append(t.Heads, stack)
 	}
+	t.finish()
 	return t
+}
+
+// finish allocates the fixed-size scratch and the cached parameter list once
+// the layer topology is known — so first-call latency matches steady state
+// and the hot path never allocates.
+func (t *TwoHead) finish() {
+	t.trunkOut = make([]float64, t.trunkDim())
+	t.headDy = make([]float64, 1)
+	t.params = t.params[:0]
+	t.params = append(t.params, t.Trunk...)
+	for _, stack := range t.Heads {
+		t.params = append(t.params, stack...)
+	}
+}
+
+// trunkDim is the width of the shared representation the heads consume.
+func (t *TwoHead) trunkDim() int {
+	if len(t.Trunk) > 0 {
+		return t.Trunk[len(t.Trunk)-1].Out
+	}
+	return t.Heads[0][0].In
 }
 
 // NewPaperActor returns the actor of §4.6: state dim in, two sigmoid heads,
@@ -73,9 +103,6 @@ func (t *TwoHead) Forward(x []float64) []float64 {
 		x = l.Forward(x)
 	}
 	// Each head must cache its own input; the trunk output is shared.
-	if len(t.trunkOut) != len(x) {
-		t.trunkOut = make([]float64, len(x))
-	}
 	copy(t.trunkOut, x)
 	for h, stack := range t.Heads {
 		y := t.trunkOut
@@ -101,7 +128,8 @@ func (t *TwoHead) Backward(dy []float64) []float64 {
 		for _, l := range stack {
 			y = l.Forward(y)
 		}
-		g := []float64{dy[h]}
+		t.headDy[0] = dy[h]
+		g := t.headDy
 		for i := len(stack) - 1; i >= 0; i-- {
 			g = stack[i].Backward(g)
 		}
@@ -120,6 +148,78 @@ func (t *TwoHead) Backward(dy []float64) []float64 {
 	return g
 }
 
+// ForwardBatch implements Network over n row-major [n×InDim] inputs; the
+// returned [n×OutDim] slice is an internal buffer reused between calls.
+func (t *TwoHead) ForwardBatch(x []float64, n int) []float64 {
+	for _, l := range t.Trunk {
+		x = l.ForwardBatch(x, n)
+	}
+	td := t.trunkDim()
+	if cap(t.trunkOutB) < n*td {
+		t.trunkOutB = make([]float64, n*td)
+	}
+	t.trunkOutB = t.trunkOutB[:n*td]
+	copy(t.trunkOutB, x[:n*td])
+	heads := len(t.Heads)
+	if cap(t.outB) < n*heads {
+		t.outB = make([]float64, n*heads)
+		t.headDyB = make([]float64, n)
+	}
+	t.outB = t.outB[:n*heads]
+	t.headDyB = t.headDyB[:n]
+	t.bn = n
+	for h, stack := range t.Heads {
+		y := t.trunkOutB
+		for _, l := range stack {
+			y = l.ForwardBatch(y, n)
+		}
+		for b := 0; b < n; b++ {
+			t.outB[b*heads+h] = y[b]
+		}
+	}
+	return t.outB
+}
+
+// BackwardBatch implements Network: dy is [n×OutDim] for the most recent
+// ForwardBatch. Heads are replayed batch-wise before backprop (mirroring
+// Backward), and the trunk gradient sums head contributions in head order,
+// so the result is bit-identical to n per-sample Forward/Backward pairs.
+func (t *TwoHead) BackwardBatch(dy []float64, n int) []float64 {
+	if n != t.bn {
+		panic(fmt.Sprintf("nn: TwoHead.BackwardBatch rows %d, last ForwardBatch had %d", n, t.bn))
+	}
+	heads := len(t.Heads)
+	if len(dy) != n*heads {
+		panic(fmt.Sprintf("nn: TwoHead.BackwardBatch gradient %d, want %d rows × %d", len(dy), n, heads))
+	}
+	var dTrunk []float64
+	for h, stack := range t.Heads {
+		y := t.trunkOutB
+		for _, l := range stack {
+			y = l.ForwardBatch(y, n)
+		}
+		for b := 0; b < n; b++ {
+			t.headDyB[b] = dy[b*heads+h]
+		}
+		g := t.headDyB
+		for i := len(stack) - 1; i >= 0; i-- {
+			g = stack[i].BackwardBatch(g, n)
+		}
+		if dTrunk == nil {
+			dTrunk = g
+		} else {
+			for i := range dTrunk {
+				dTrunk[i] += g[i]
+			}
+		}
+	}
+	g := dTrunk
+	for i := len(t.Trunk) - 1; i >= 0; i-- {
+		g = t.Trunk[i].BackwardBatch(g, n)
+	}
+	return g
+}
+
 // ZeroGrad implements Network.
 func (t *TwoHead) ZeroGrad() {
 	for _, l := range t.Params() {
@@ -127,15 +227,9 @@ func (t *TwoHead) ZeroGrad() {
 	}
 }
 
-// Params implements Network.
-func (t *TwoHead) Params() []*Dense {
-	var out []*Dense
-	out = append(out, t.Trunk...)
-	for _, stack := range t.Heads {
-		out = append(out, stack...)
-	}
-	return out
-}
+// Params implements Network. The returned slice is cached (the layer set
+// is fixed at construction) so hot paths can call it allocation-free.
+func (t *TwoHead) Params() []*Dense { return t.params }
 
 // NumParams implements Network.
 func (t *TwoHead) NumParams() int {
@@ -159,6 +253,7 @@ func (t *TwoHead) CloneNet() Network {
 		}
 		c.Heads = append(c.Heads, cs)
 	}
+	c.finish()
 	return c
 }
 
@@ -216,6 +311,7 @@ func LoadTwoHead(r io.Reader) (*TwoHead, error) {
 			GB: make([]float64, len(ls.B)),
 			x:  make([]float64, ls.In),
 			y:  make([]float64, ls.Out),
+			dx: make([]float64, ls.In),
 		}, nil
 	}
 	for _, ls := range s.Trunk {
@@ -239,6 +335,7 @@ func LoadTwoHead(r io.Reader) (*TwoHead, error) {
 		}
 		t.Heads = append(t.Heads, stack)
 	}
+	t.finish()
 	return t, nil
 }
 

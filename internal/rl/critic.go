@@ -1,6 +1,8 @@
 package rl
 
 import (
+	"fmt"
+
 	"github.com/deeppower/deeppower/internal/nn"
 	"github.com/deeppower/deeppower/internal/sim"
 )
@@ -16,11 +18,21 @@ type Critic struct {
 
 	stateDim, actionDim int
 	concat              []float64
+	daction             []float64   // per-sample Backward scratch
+	dqScratch           [1]float64  // per-sample Backward dq seed
+	layers              []*nn.Dense // cached Layers() result
+
+	// Batched-path scratch ([n×dim] row-major), grown on demand and reused
+	// so a steady-state batched train step never allocates.
+	concatB  []float64
+	dh1B     []float64
+	dactionB []float64
+	bn       int
 }
 
 // NewCritic builds a critic with hidden sizes (h1, h2, h3).
 func NewCritic(stateDim, actionDim int, hidden [3]int, rng *sim.RNG) *Critic {
-	return &Critic{
+	c := &Critic{
 		l1:        nn.NewDense(stateDim, hidden[0], nn.ReLU, rng),
 		l2:        nn.NewDense(hidden[0]+actionDim, hidden[1], nn.ReLU, rng),
 		l3:        nn.NewDense(hidden[1], hidden[2], nn.ReLU, rng),
@@ -28,7 +40,10 @@ func NewCritic(stateDim, actionDim int, hidden [3]int, rng *sim.RNG) *Critic {
 		stateDim:  stateDim,
 		actionDim: actionDim,
 		concat:    make([]float64, hidden[0]+actionDim),
+		daction:   make([]float64, actionDim),
 	}
+	c.layers = []*nn.Dense{c.l1, c.l2, c.l3, c.out}
+	return c
 }
 
 // Forward returns Q(s, a) and caches activations for Backward.
@@ -42,21 +57,75 @@ func (c *Critic) Forward(state, action []float64) float64 {
 }
 
 // Backward propagates dL/dQ of the most recent Forward, accumulating weight
-// gradients, and returns (dL/dstate, dL/daction).
+// gradients, and returns (dL/dstate, dL/daction). Both slices are
+// critic-owned scratch, overwritten by the next Backward call.
 func (c *Critic) Backward(dq float64) (dstate, daction []float64) {
-	dh3 := c.out.Backward([]float64{dq})
+	c.dqScratch[0] = dq
+	dh3 := c.out.Backward(c.dqScratch[:])
 	dh2 := c.l3.Backward(dh3)
 	dconcat := c.l2.Backward(dh2)
 	h1Dim := len(c.concat) - c.actionDim
+	// Copy the action slice out before l1.Backward reuses dconcat's layer
+	// scratch (dconcat aliases l2's dx buffer, which survives, but keeping a
+	// critic-owned copy preserves the old return-value independence).
+	copy(c.daction, dconcat[h1Dim:])
 	dstate = c.l1.Backward(dconcat[:h1Dim])
-	daction = append([]float64(nil), dconcat[h1Dim:]...)
-	return dstate, daction
+	return dstate, c.daction
 }
 
-// Layers exposes the trainable layers for optimizers.
-func (c *Critic) Layers() []*nn.Dense {
-	return []*nn.Dense{c.l1, c.l2, c.l3, c.out}
+// ForwardBatch computes Q(s, a) for n row-major [n×stateDim] states and
+// [n×actionDim] actions, caching activations for BackwardBatch. The
+// returned [n] slice aliases an internal buffer. Bit-identical to n Forward
+// calls (see nn.Dense.ForwardBatch).
+func (c *Critic) ForwardBatch(states, actions []float64, n int) []float64 {
+	h1 := c.l1.ForwardBatch(states, n)
+	h1Dim := c.l1.Out
+	cw := h1Dim + c.actionDim
+	if cap(c.concatB) < n*cw {
+		c.concatB = make([]float64, n*cw)
+		c.dh1B = make([]float64, n*h1Dim)
+		c.dactionB = make([]float64, n*c.actionDim)
+	}
+	c.concatB = c.concatB[:n*cw]
+	c.dh1B = c.dh1B[:n*h1Dim]
+	c.dactionB = c.dactionB[:n*c.actionDim]
+	c.bn = n
+	for b := 0; b < n; b++ {
+		row := c.concatB[b*cw : (b+1)*cw]
+		copy(row, h1[b*h1Dim:(b+1)*h1Dim])
+		copy(row[h1Dim:], actions[b*c.actionDim:(b+1)*c.actionDim])
+	}
+	h2 := c.l2.ForwardBatch(c.concatB, n)
+	h3 := c.l3.ForwardBatch(h2, n)
+	return c.out.ForwardBatch(h3, n)
 }
+
+// BackwardBatch propagates dL/dQ for the most recent ForwardBatch (dq is
+// [n]), accumulating weight gradients in ascending sample order, and
+// returns ([n×stateDim], [n×actionDim]) input gradients aliasing internal
+// scratch. Bit-identical to n Forward/Backward pairs.
+func (c *Critic) BackwardBatch(dq []float64, n int) (dstate, daction []float64) {
+	if n != c.bn {
+		panic(fmt.Sprintf("rl: Critic.BackwardBatch rows %d, last ForwardBatch had %d", n, c.bn))
+	}
+	dh3 := c.out.BackwardBatch(dq, n)
+	dh2 := c.l3.BackwardBatch(dh3, n)
+	dconcat := c.l2.BackwardBatch(dh2, n)
+	h1Dim := c.l1.Out
+	cw := h1Dim + c.actionDim
+	for b := 0; b < n; b++ {
+		row := dconcat[b*cw : (b+1)*cw]
+		copy(c.dh1B[b*h1Dim:], row[:h1Dim])
+		copy(c.dactionB[b*c.actionDim:], row[h1Dim:])
+	}
+	dstate = c.l1.BackwardBatch(c.dh1B, n)
+	return dstate, c.dactionB
+}
+
+// Layers exposes the trainable layers for optimizers. The slice is cached
+// at construction so hot paths (soft updates, finiteness sweeps) don't
+// allocate.
+func (c *Critic) Layers() []*nn.Dense { return c.layers }
 
 // ZeroGrad clears accumulated gradients.
 func (c *Critic) ZeroGrad() {
@@ -76,11 +145,14 @@ func (c *Critic) NumParams() int {
 
 // Clone deep-copies the critic.
 func (c *Critic) Clone() *Critic {
-	return &Critic{
+	cc := &Critic{
 		l1: c.l1.Clone(), l2: c.l2.Clone(), l3: c.l3.Clone(), out: c.out.Clone(),
 		stateDim: c.stateDim, actionDim: c.actionDim,
-		concat: make([]float64, len(c.concat)),
+		concat:  make([]float64, len(c.concat)),
+		daction: make([]float64, c.actionDim),
 	}
+	cc.layers = []*nn.Dense{cc.l1, cc.l2, cc.l3, cc.out}
+	return cc
 }
 
 // SoftUpdateFrom blends src into this critic: θ ← τ·θ_src + (1-τ)·θ.

@@ -74,6 +74,20 @@ type DDPG struct {
 	criticOpt *nn.Adam
 
 	divergences uint64
+
+	// actorParams caches Actor.Params() so the per-update finiteness scan
+	// and snapshot never allocate.
+	actorParams []*nn.Dense
+
+	// Pre-update weight snapshot for divergence rollback: flat copies of
+	// every live and target layer's (W, B), preallocated once so the
+	// steady-state train step stays allocation-free.
+	snapLayers []*nn.Dense
+	snapW      [][]float64
+	snapB      [][]float64
+
+	// arena holds the reused flat minibatch buffers of the batched path.
+	arena trainArena
 }
 
 // NewDDPG builds an agent.
@@ -116,7 +130,49 @@ func NewDDPG(cfg DDPGConfig) (*DDPG, error) {
 	d.criticOpt = nn.NewAdam(critic.Layers(), full.CriticLR)
 	d.criticOpt.MaxGradNorm = 5
 	d.actorOpt.MaxGradNorm = 5
+	d.rebuildCaches()
 	return d, nil
+}
+
+// rebuildCaches refreshes the cached parameter lists and the rollback
+// snapshot arena after the network objects change (construction,
+// LoadPolicy).
+func (d *DDPG) rebuildCaches() {
+	d.actorParams = d.Actor.Params()
+	d.snapLayers = d.snapLayers[:0]
+	d.snapLayers = append(d.snapLayers, d.Actor.Params()...)
+	d.snapLayers = append(d.snapLayers, d.ActorTarget.Params()...)
+	d.snapLayers = append(d.snapLayers, d.Critic.Layers()...)
+	d.snapLayers = append(d.snapLayers, d.CriticTarget.Layers()...)
+	d.snapW = d.snapW[:0]
+	d.snapB = d.snapB[:0]
+	for _, l := range d.snapLayers {
+		d.snapW = append(d.snapW, make([]float64, len(l.W)))
+		d.snapB = append(d.snapB, make([]float64, len(l.B)))
+	}
+}
+
+// snapshot copies every live and target weight into the preallocated
+// rollback arena.
+func (d *DDPG) snapshot() {
+	for i, l := range d.snapLayers {
+		copy(d.snapW[i], l.W)
+		copy(d.snapB[i], l.B)
+	}
+}
+
+// rollback restores the snapshot taken at the top of the failed update and
+// rebuilds the optimizers (their moments may carry the NaN).
+func (d *DDPG) rollback() {
+	for i, l := range d.snapLayers {
+		copy(l.W, d.snapW[i])
+		copy(l.B, d.snapB[i])
+	}
+	d.actorOpt = nn.NewAdam(d.Actor.Params(), d.cfg.ActorLR)
+	d.criticOpt = nn.NewAdam(d.Critic.Layers(), d.cfg.CriticLR)
+	d.actorOpt.MaxGradNorm = 5
+	d.criticOpt.MaxGradNorm = 5
+	d.divergences++
 }
 
 // shrinkFinalLayer rescales a layer's weights to uniform ±limit.
@@ -167,6 +223,11 @@ func (d *DDPG) ActNoisy(state []float64, noise Noise) []float64 {
 // Update performs one gradient step on a minibatch (Algorithm 2 lines
 // 14–18) and returns the critic and actor losses.
 //
+// The step runs on the batched nn kernels over reused flat buffers: a
+// steady-state call performs zero heap allocations and is bit-identical to
+// the per-sample reference path (updatePerSample) — the kernels preserve
+// per-sample accumulation order exactly.
+//
 // Update is divergence-guarded: if the step produces a non-finite loss or
 // non-finite weights anywhere (possible when faulted telemetry slips a
 // pathological transition into replay), the step is rolled back to the
@@ -176,14 +237,75 @@ func (d *DDPG) Update(batch []Transition) (criticLoss, actorLoss float64) {
 	if len(batch) == 0 {
 		return 0, 0
 	}
+	n := len(batch)
+	d.snapshot()
+	inv := 1 / float64(n)
+	ar := &d.arena
+	ar.load(batch, d.cfg.StateDim, d.cfg.ActionDim, d.cfg.ActionDim)
+
+	// Critic: minimize Σ (y_i - Q_w(s_i, a_i))² with
+	// y_i = r_i + γ·Q_w'(s'_i, π_θ'(s'_i)). Targets for terminal samples
+	// are computed batch-wide but masked out below (no RNG is involved, so
+	// the discarded work cannot perturb determinism).
+	a2 := d.ActorTarget.ForwardBatch(ar.next, n)
+	q2 := d.CriticTarget.ForwardBatch(ar.next, a2, n)
+	for i := 0; i < n; i++ {
+		y := ar.rewards[i]
+		if !ar.done[i] {
+			y += d.cfg.Gamma * q2[i]
+		}
+		ar.y[i] = y
+	}
+	d.Critic.ZeroGrad()
+	q := d.Critic.ForwardBatch(ar.states, ar.actions, n)
+	for i := 0; i < n; i++ {
+		diff := q[i] - ar.y[i]
+		criticLoss += diff * diff * inv
+		ar.dq[i] = 2 * diff * inv
+	}
+	d.Critic.BackwardBatch(ar.dq, n)
+	d.criticOpt.Step()
+
+	// Actor: maximize Σ Q_w(s_i, π_θ(s_i)) — i.e. descend on L_a = -Q.
+	d.Actor.ZeroGrad()
+	a := d.Actor.ForwardBatch(ar.states, n)
+	q = d.Critic.ForwardBatch(ar.states, a, n)
+	for i := 0; i < n; i++ {
+		actorLoss += -q[i] * inv
+		ar.dq[i] = -inv // dL_a/dQ per sample
+	}
+	_, da := d.Critic.BackwardBatch(ar.dq, n)
+	d.Actor.BackwardBatch(da, n)
+	// The actor pass accumulated unwanted critic gradients; drop them.
+	d.Critic.ZeroGrad()
+	d.actorOpt.Step()
+
+	// Soft-update targets.
+	d.ActorTarget.SoftUpdateNet(d.Actor, d.cfg.Tau)
+	d.CriticTarget.SoftUpdateFrom(d.Critic, d.cfg.Tau)
+
+	if !isFinite(criticLoss) || !isFinite(actorLoss) || !d.weightsFinite() {
+		d.rollback()
+		return 0, 0
+	}
+	return criticLoss, actorLoss
+}
+
+// updatePerSample is the pre-batching reference implementation: one
+// transition at a time through all four networks, with allocating snapshot
+// clones. It is retained as the baseline for BenchmarkTrainStep and for the
+// bit-identity tests proving the batched Update changed speed, not
+// numerics.
+func (d *DDPG) updatePerSample(batch []Transition) (criticLoss, actorLoss float64) {
+	if len(batch) == 0 {
+		return 0, 0
+	}
 	// Snapshot for rollback; the networks are ~2k parameters, so this is
 	// cheap next to the gradient pass itself.
 	snapActor, snapActorT := d.Actor.CloneNet(), d.ActorTarget.CloneNet()
 	snapCritic, snapCriticT := d.Critic.Clone(), d.CriticTarget.Clone()
 	inv := 1 / float64(len(batch))
 
-	// Critic: minimize Σ (y_i - Q_w(s_i, a_i))² with
-	// y_i = r_i + γ·Q_w'(s'_i, π_θ'(s'_i)).
 	d.Critic.ZeroGrad()
 	for _, tr := range batch {
 		y := tr.Reward
@@ -198,7 +320,6 @@ func (d *DDPG) Update(batch []Transition) (criticLoss, actorLoss float64) {
 	}
 	d.criticOpt.Step()
 
-	// Actor: maximize Σ Q_w(s_i, π_θ(s_i)) — i.e. descend on L_a = -Q.
 	d.Actor.ZeroGrad()
 	for _, tr := range batch {
 		a := d.Actor.Forward(tr.State)
@@ -208,11 +329,9 @@ func (d *DDPG) Update(batch []Transition) (criticLoss, actorLoss float64) {
 		_, da := d.Critic.Backward(-inv) // dL_a/da through the critic
 		d.Actor.Backward(da)
 	}
-	// The actor pass accumulated unwanted critic gradients; drop them.
 	d.Critic.ZeroGrad()
 	d.actorOpt.Step()
 
-	// Soft-update targets.
 	d.ActorTarget.SoftUpdateNet(d.Actor, d.cfg.Tau)
 	d.CriticTarget.SoftUpdateFrom(d.Critic, d.cfg.Tau)
 
@@ -224,6 +343,7 @@ func (d *DDPG) Update(batch []Transition) (criticLoss, actorLoss float64) {
 		d.actorOpt.MaxGradNorm = 5
 		d.criticOpt.MaxGradNorm = 5
 		d.divergences++
+		d.rebuildCaches()
 		return 0, 0
 	}
 	return criticLoss, actorLoss
@@ -235,9 +355,10 @@ func (d *DDPG) Divergences() uint64 { return d.divergences }
 
 func isFinite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
 
-// weightsFinite scans every parameter of the live networks.
+// weightsFinite scans every parameter of the live networks using the cached
+// layer lists (no allocation on the hot path).
 func (d *DDPG) weightsFinite() bool {
-	for _, l := range d.Actor.Params() {
+	for _, l := range d.actorParams {
 		if !denseFinite(l) {
 			return false
 		}
@@ -289,5 +410,6 @@ func (d *DDPG) LoadPolicy(r io.Reader) error {
 	d.Actor = m
 	d.ActorTarget = m.CloneNet()
 	d.actorOpt = nn.NewAdam(d.Actor.Params(), d.cfg.ActorLR)
+	d.rebuildCaches()
 	return nil
 }

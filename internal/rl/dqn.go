@@ -55,6 +55,11 @@ type DQN struct {
 	Target *nn.MLP
 	opt    *nn.Adam
 	rng    *sim.RNG
+
+	// arena holds the reused flat minibatch buffers of the batched update
+	// path; sel caches the DDQN per-row action selections.
+	arena trainArena
+	sel   []int
 }
 
 // NewDQN builds an agent.
@@ -98,7 +103,66 @@ func (d *DQN) QValues(state []float64) []float64 {
 
 // Update performs one gradient step on a minibatch. Transitions must carry
 // a single-element Action slice holding the action index.
+//
+// The step runs on the batched nn kernels over reused flat buffers; it is
+// bit-identical to the per-sample reference path (updatePerSample) and
+// allocation-free at steady state.
 func (d *DQN) Update(batch []Transition) (loss float64) {
+	if len(batch) == 0 {
+		return 0
+	}
+	n := len(batch)
+	inv := 1 / float64(n)
+	k := d.cfg.NumActions
+	ar := &d.arena
+	ar.load(batch, d.cfg.StateDim, 1, k)
+	if cap(d.sel) < n {
+		d.sel = make([]int, n)
+	}
+	d.sel = d.sel[:n]
+
+	// Bootstrap targets, batch-wide (terminal rows are computed but masked
+	// out of y; no RNG is involved, so the discarded work is harmless).
+	if d.cfg.Double {
+		// DDQN: online net selects, target net evaluates.
+		qNext := d.Q.ForwardBatch(ar.next, n)
+		for i := 0; i < n; i++ {
+			d.sel[i] = argmax(qNext[i*k : (i+1)*k])
+		}
+	}
+	tNext := d.Target.ForwardBatch(ar.next, n)
+	for i := 0; i < n; i++ {
+		y := ar.rewards[i]
+		if !ar.done[i] {
+			if d.cfg.Double {
+				y += d.cfg.Gamma * tNext[i*k+d.sel[i]]
+			} else {
+				y += d.cfg.Gamma * maxOf(tNext[i*k:(i+1)*k])
+			}
+		}
+		ar.y[i] = y
+	}
+
+	d.Q.ZeroGrad()
+	q := d.Q.ForwardBatch(ar.states, n)
+	for i := range ar.grad {
+		ar.grad[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		a := int(ar.actions[i])
+		diff := q[i*k+a] - ar.y[i]
+		loss += diff * diff * inv
+		ar.grad[i*k+a] = 2 * diff * inv
+	}
+	d.Q.BackwardBatch(ar.grad, n)
+	d.opt.Step()
+	d.Target.SoftUpdateFrom(d.Q, d.cfg.Tau)
+	return loss
+}
+
+// updatePerSample is the pre-batching reference implementation, retained as
+// the benchmark baseline and the bit-identity oracle for the batched Update.
+func (d *DQN) updatePerSample(batch []Transition) (loss float64) {
 	if len(batch) == 0 {
 		return 0
 	}
@@ -109,7 +173,6 @@ func (d *DQN) Update(batch []Transition) (loss float64) {
 		y := tr.Reward
 		if !tr.Done {
 			if d.cfg.Double {
-				// DDQN: online net selects, target net evaluates.
 				sel := argmax(d.Q.Forward(tr.NextState))
 				y += d.cfg.Gamma * d.Target.Forward(tr.NextState)[sel]
 			} else {

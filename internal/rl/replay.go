@@ -52,15 +52,24 @@ func (rp *Replay) Push(t Transition) {
 // Len reports how many transitions are stored.
 func (rp *Replay) Len() int { return len(rp.buf) }
 
-// Sample draws n transitions uniformly with replacement. It panics when the
-// pool is empty.
-func (rp *Replay) Sample(n int) []Transition {
+// SampleInto fills dst with transitions drawn uniformly with replacement,
+// without allocating: trainers reuse one minibatch buffer across updates.
+// It draws exactly len(dst) RNG values in the same order as Sample, so the
+// two are interchangeable under a fixed seed. Panics when the pool is
+// empty.
+func (rp *Replay) SampleInto(dst []Transition) {
 	if len(rp.buf) == 0 {
 		panic("rl: sampling from empty replay pool")
 	}
-	out := make([]Transition, n)
-	for i := range out {
-		out[i] = rp.buf[rp.rng.Intn(len(rp.buf))]
+	for i := range dst {
+		dst[i] = rp.buf[rp.rng.Intn(len(rp.buf))]
 	}
+}
+
+// Sample draws n transitions uniformly with replacement into a fresh slice.
+// Hot paths should prefer SampleInto.
+func (rp *Replay) Sample(n int) []Transition {
+	out := make([]Transition, n)
+	rp.SampleInto(out)
 	return out
 }

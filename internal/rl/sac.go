@@ -71,6 +71,41 @@ type SAC struct {
 	Target1, Target2       *Critic
 	actorOpt, c1Opt, c2Opt *nn.Adam
 	rng                    *sim.RNG
+
+	// Batched-update scratch: the flat minibatch arena plus [n×dim]
+	// row-major buffers for the reparameterized draws, grown on demand so a
+	// steady-state Update never allocates.
+	arena                           trainArena
+	a01B, aTanhB, epsB, stdB, dRawB []float64 // [n×ActionDim]
+	logPiB                          []float64 // [n]
+	dq1B, dq2B                      []float64 // [n] min-critic masks
+	bn                              int
+}
+
+// ensureBatch grows the SAC-specific sampling scratch to n rows.
+func (s *SAC) ensureBatch(n int) {
+	d := s.cfg.ActionDim
+	if cap(s.a01B) < n*d {
+		s.a01B = make([]float64, n*d)
+		s.aTanhB = make([]float64, n*d)
+		s.epsB = make([]float64, n*d)
+		s.stdB = make([]float64, n*d)
+		s.dRawB = make([]float64, n*d)
+	}
+	if cap(s.logPiB) < n {
+		s.logPiB = make([]float64, n)
+		s.dq1B = make([]float64, n)
+		s.dq2B = make([]float64, n)
+	}
+	s.a01B = s.a01B[:n*d]
+	s.aTanhB = s.aTanhB[:n*d]
+	s.epsB = s.epsB[:n*d]
+	s.stdB = s.stdB[:n*d]
+	s.dRawB = s.dRawB[:n*d]
+	s.logPiB = s.logPiB[:n]
+	s.dq1B = s.dq1B[:n]
+	s.dq2B = s.dq2B[:n]
+	s.bn = n
 }
 
 // NewSAC builds an agent.
@@ -163,9 +198,153 @@ func (s *SAC) SampleAction(state []float64) []float64 {
 	return s.sample(state).a01
 }
 
+// sampleBatch fills the sampling scratch rows from a batched actor output
+// (out is [n×2·ActionDim]: means then raw log-stds per row). Rows where skip
+// is true are left untouched and consume no RNG draws, so the draw sequence
+// matches the per-sample path exactly (which samples non-terminal rows only
+// in the critic pass). The per-element arithmetic mirrors head/sample
+// verbatim — bit-identical results.
+func (s *SAC) sampleBatch(out []float64, n int, skip []bool) {
+	d := s.cfg.ActionDim
+	half := 0.5 * (logStdMax - logStdMin)
+	for b := 0; b < n; b++ {
+		if skip != nil && skip[b] {
+			continue
+		}
+		row := out[b*2*d : (b+1)*2*d]
+		logPi := 0.0
+		for i := 0; i < d; i++ {
+			mu := row[i]
+			t := math.Tanh(row[d+i])
+			logStd := logStdMin + half*(t+1)
+			s.dRawB[b*d+i] = half * (1 - t*t)
+			std := math.Exp(logStd)
+			eps := s.rng.NormFloat64()
+			u := mu + std*eps
+			aTanh := math.Tanh(u)
+			s.stdB[b*d+i] = std
+			s.epsB[b*d+i] = eps
+			s.aTanhB[b*d+i] = aTanh
+			s.a01B[b*d+i] = (aTanh + 1) / 2
+			logPi += -0.5*eps*eps - logStd - 0.5*math.Log(2*math.Pi) -
+				math.Log(1-aTanh*aTanh+sacEps)
+		}
+		s.logPiB[b] = logPi
+	}
+}
+
 // Update performs one SAC gradient step on a minibatch and returns the twin
 // critic losses and the actor loss.
+//
+// The step runs on the batched nn kernels over reused flat buffers; it is
+// bit-identical to the per-sample reference path (updatePerSample),
+// including the reparameterization RNG draw order, and allocation-free at
+// steady state.
 func (s *SAC) Update(batch []Transition) (critic1Loss, critic2Loss, actorLoss float64) {
+	if len(batch) == 0 {
+		return
+	}
+	n := len(batch)
+	inv := 1 / float64(n)
+	d := s.cfg.ActionDim
+	ar := &s.arena
+	ar.load(batch, s.cfg.StateDim, d, 2*d)
+	s.ensureBatch(n)
+
+	// Critic update: y = r + γ·(min_i Q'_i(s', ã') - α·logπ(ã'|s')). The
+	// next-state policy head is forwarded batch-wide; reparameterized draws
+	// happen for non-terminal rows only, in ascending sample order (the
+	// per-sample RNG sequence). Terminal rows carry stale actions through
+	// the target forwards and are masked out of y — no RNG is involved in
+	// the discarded work.
+	outB := s.Actor.ForwardBatch(ar.next, n)
+	s.sampleBatch(outB, n, ar.done)
+	q1B := s.Target1.ForwardBatch(ar.next, s.a01B, n)
+	q2B := s.Target2.ForwardBatch(ar.next, s.a01B, n)
+	for i := 0; i < n; i++ {
+		y := ar.rewards[i]
+		if !ar.done[i] {
+			y += s.cfg.Gamma * (math.Min(q1B[i], q2B[i]) - s.cfg.Alpha*s.logPiB[i])
+		}
+		ar.y[i] = y
+	}
+	s.Critic1.ZeroGrad()
+	s.Critic2.ZeroGrad()
+	q := s.Critic1.ForwardBatch(ar.states, ar.actions, n)
+	for i := 0; i < n; i++ {
+		diff := q[i] - ar.y[i]
+		critic1Loss += diff * diff * inv
+		ar.dq[i] = 2 * diff * inv
+	}
+	s.Critic1.BackwardBatch(ar.dq, n)
+	q = s.Critic2.ForwardBatch(ar.states, ar.actions, n)
+	for i := 0; i < n; i++ {
+		diff := q[i] - ar.y[i]
+		critic2Loss += diff * diff * inv
+		ar.dq[i] = 2 * diff * inv
+	}
+	s.Critic2.BackwardBatch(ar.dq, n)
+	s.c1Opt.Step()
+	s.c2Opt.Step()
+
+	// Actor update: minimize E[α·logπ(ã|s) - min_i Q_i(s, ã)] with the
+	// reparameterization trick through the tanh squash. Per sample, only
+	// the smaller critic backpropagates: both critics run BackwardBatch
+	// with complementary 1/0 masks (a masked row's backward contributes
+	// exact zeros, and the unwanted critic weight gradients are zeroed
+	// below anyway), and each sample reads dQ/da from its min critic's
+	// input-gradient row — bit-identical to minC.Backward(1).
+	s.Actor.ZeroGrad()
+	outB = s.Actor.ForwardBatch(ar.states, n)
+	s.sampleBatch(outB, n, nil)
+	q1B = s.Critic1.ForwardBatch(ar.states, s.a01B, n)
+	q2B = s.Critic2.ForwardBatch(ar.states, s.a01B, n)
+	for i := 0; i < n; i++ {
+		if q2B[i] < q1B[i] {
+			s.dq1B[i], s.dq2B[i] = 0, 1
+			actorLoss += (s.cfg.Alpha*s.logPiB[i] - q2B[i]) * inv
+		} else {
+			s.dq1B[i], s.dq2B[i] = 1, 0
+			actorLoss += (s.cfg.Alpha*s.logPiB[i] - q1B[i]) * inv
+		}
+	}
+	_, da1 := s.Critic1.BackwardBatch(s.dq1B, n)
+	_, da2 := s.Critic2.BackwardBatch(s.dq2B, n)
+	for b := 0; b < n; b++ {
+		dqda := da1[b*d : (b+1)*d]
+		if s.dq2B[b] == 1 {
+			dqda = da2[b*d : (b+1)*d]
+		}
+		grad := ar.grad[b*2*d : (b+1)*2*d]
+		for i := 0; i < d; i++ {
+			aTanh := s.aTanhB[b*d+i]
+			sech2 := 1 - aTanh*aTanh // da_tanh/du
+			da01du := 0.5 * sech2
+			dLogPiDu := 2 * aTanh * sech2 / (sech2 + sacEps)
+			// dL/dµ_i.
+			grad[i] = inv * (s.cfg.Alpha*dLogPiDu - dqda[i]*da01du)
+			// dL/dlogσ_i: u depends on logσ via σ·ε; logπ also carries the
+			// explicit -logσ term. Chain through the tanh bounding of logσ
+			// to reach the raw network output.
+			duDLogStd := s.stdB[b*d+i] * s.epsB[b*d+i]
+			dLdLogStd := s.cfg.Alpha*(dLogPiDu*duDLogStd-1) - dqda[i]*da01du*duDLogStd
+			grad[d+i] = inv * dLdLogStd * s.dRawB[b*d+i]
+		}
+	}
+	s.Actor.BackwardBatch(ar.grad, n)
+	// Drop critic gradients accumulated during the actor pass.
+	s.Critic1.ZeroGrad()
+	s.Critic2.ZeroGrad()
+	s.actorOpt.Step()
+
+	s.Target1.SoftUpdateFrom(s.Critic1, s.cfg.Tau)
+	s.Target2.SoftUpdateFrom(s.Critic2, s.cfg.Tau)
+	return critic1Loss, critic2Loss, actorLoss
+}
+
+// updatePerSample is the pre-batching reference implementation, retained as
+// the benchmark baseline and the bit-identity oracle for the batched Update.
+func (s *SAC) updatePerSample(batch []Transition) (critic1Loss, critic2Loss, actorLoss float64) {
 	if len(batch) == 0 {
 		return
 	}

@@ -79,6 +79,11 @@ type TD3 struct {
 	actorOpt, c1Opt, c2Opt *nn.Adam
 	rng                    *sim.RNG
 	updates                int
+
+	// arena and a2B are the reused flat minibatch buffers of the batched
+	// update path ([n×dim] row-major, grown on demand).
+	arena trainArena
+	a2B   []float64
 }
 
 // NewTD3 builds an agent.
@@ -135,14 +140,106 @@ func (t *TD3) ActNoisy(state []float64, noise Noise) []float64 {
 
 // Update performs one TD3 step and returns the critic losses (actor loss is
 // only defined on delayed updates and returned as NaN otherwise).
+//
+// The step runs on the batched nn kernels over reused flat buffers; it is
+// bit-identical to the per-sample reference path (updatePerSample),
+// including the target-smoothing RNG draw order, and allocation-free at
+// steady state.
 func (t *TD3) Update(batch []Transition) (critic1Loss, critic2Loss, actorLoss float64) {
+	if len(batch) == 0 {
+		return 0, 0, math.NaN()
+	}
+	n := len(batch)
+	inv := 1 / float64(n)
+	t.updates++
+	ar := &t.arena
+	ar.load(batch, t.cfg.StateDim, t.cfg.ActionDim, t.cfg.ActionDim)
+	ad := t.cfg.ActionDim
+	if cap(t.a2B) < n*ad {
+		t.a2B = make([]float64, n*ad)
+	}
+	t.a2B = t.a2B[:n*ad]
+
+	// Critics: y = r + γ·min_i Q'_i(s', π'(s') + clipped noise). Target
+	// actions are forwarded batch-wide, then the clipped smoothing noise is
+	// drawn for non-terminal rows only, in ascending sample order — the
+	// exact RNG sequence of the per-sample path. Terminal rows are computed
+	// but masked out of y below (the discarded forwards involve no RNG, so
+	// they cannot perturb determinism).
+	copy(t.a2B, t.ActorTarget.ForwardBatch(ar.next, n))
+	for i := 0; i < n; i++ {
+		if ar.done[i] {
+			continue
+		}
+		row := t.a2B[i*ad : (i+1)*ad]
+		for j := range row {
+			eps := t.rng.Normal(0, t.cfg.TargetNoise)
+			eps = math.Max(-t.cfg.NoiseClip, math.Min(t.cfg.NoiseClip, eps))
+			row[j] += eps
+		}
+		clip01(row)
+	}
+	q1B := t.Target1.ForwardBatch(ar.next, t.a2B, n)
+	q2B := t.Target2.ForwardBatch(ar.next, t.a2B, n)
+	for i := 0; i < n; i++ {
+		y := ar.rewards[i]
+		if !ar.done[i] {
+			y += t.cfg.Gamma * math.Min(q1B[i], q2B[i])
+		}
+		ar.y[i] = y
+	}
+
+	t.Critic1.ZeroGrad()
+	t.Critic2.ZeroGrad()
+	q := t.Critic1.ForwardBatch(ar.states, ar.actions, n)
+	for i := 0; i < n; i++ {
+		d := q[i] - ar.y[i]
+		critic1Loss += d * d * inv
+		ar.dq[i] = 2 * d * inv
+	}
+	t.Critic1.BackwardBatch(ar.dq, n)
+	q = t.Critic2.ForwardBatch(ar.states, ar.actions, n)
+	for i := 0; i < n; i++ {
+		d := q[i] - ar.y[i]
+		critic2Loss += d * d * inv
+		ar.dq[i] = 2 * d * inv
+	}
+	t.Critic2.BackwardBatch(ar.dq, n)
+	t.c1Opt.Step()
+	t.c2Opt.Step()
+
+	actorLoss = math.NaN()
+	if t.updates%t.cfg.PolicyDelay == 0 {
+		// Delayed actor update through Critic1 only, as in the TD3 paper.
+		t.Actor.ZeroGrad()
+		actorLoss = 0
+		a := t.Actor.ForwardBatch(ar.states, n)
+		q = t.Critic1.ForwardBatch(ar.states, a, n)
+		for i := 0; i < n; i++ {
+			actorLoss += -q[i] * inv
+			ar.dq[i] = -inv
+		}
+		_, da := t.Critic1.BackwardBatch(ar.dq, n)
+		t.Actor.BackwardBatch(da, n)
+		t.Critic1.ZeroGrad()
+		t.actorOpt.Step()
+
+		t.ActorTarget.SoftUpdateNet(t.Actor, t.cfg.Tau)
+		t.Target1.SoftUpdateFrom(t.Critic1, t.cfg.Tau)
+		t.Target2.SoftUpdateFrom(t.Critic2, t.cfg.Tau)
+	}
+	return critic1Loss, critic2Loss, actorLoss
+}
+
+// updatePerSample is the pre-batching reference implementation, retained as
+// the benchmark baseline and the bit-identity oracle for the batched Update.
+func (t *TD3) updatePerSample(batch []Transition) (critic1Loss, critic2Loss, actorLoss float64) {
 	if len(batch) == 0 {
 		return 0, 0, math.NaN()
 	}
 	inv := 1 / float64(len(batch))
 	t.updates++
 
-	// Critics: y = r + γ·min_i Q'_i(s', π'(s') + clipped noise).
 	t.Critic1.ZeroGrad()
 	t.Critic2.ZeroGrad()
 	for _, tr := range batch {
@@ -174,7 +271,6 @@ func (t *TD3) Update(batch []Transition) (critic1Loss, critic2Loss, actorLoss fl
 
 	actorLoss = math.NaN()
 	if t.updates%t.cfg.PolicyDelay == 0 {
-		// Delayed actor update through Critic1 only, as in the TD3 paper.
 		t.Actor.ZeroGrad()
 		actorLoss = 0
 		for _, tr := range batch {

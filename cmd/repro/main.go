@@ -104,6 +104,7 @@ func main() {
 	defer stop()
 
 	w := &writer{dir: *outDir}
+	var timings []harnessTiming
 	for _, h := range exp.Harnesses() {
 		if len(selected) > 0 && !selected[h.Name] {
 			continue
@@ -122,9 +123,45 @@ func main() {
 				log.Fatalf("%s: %v", h.Name, err)
 			}
 		}
-		log.Printf("done %s (%v)", h.Name, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		timings = append(timings, harnessTiming{Name: h.Name, Elapsed: elapsed, Artifacts: len(arts)})
+		log.Printf("done %s (%v)", h.Name, elapsed.Round(time.Millisecond))
+	}
+	if len(timings) > 0 {
+		tbl := timingTable(timings, *scaleName, *parallel)
+		fmt.Println(tbl)
+		path := filepath.Join(*outDir, "runner_timing.txt")
+		if err := os.WriteFile(path, []byte(tbl), 0o644); err != nil {
+			log.Fatalf("runner_timing: %v", err)
+		}
 	}
 	log.Printf("artifacts written to %s", *outDir)
+}
+
+// harnessTiming is one harness's wall-clock cost in this run.
+type harnessTiming struct {
+	Name      string
+	Elapsed   time.Duration
+	Artifacts int
+}
+
+// timingTable renders the per-harness wall-clock summary written to
+// runner_timing.txt: one row per harness plus a total, so scale or
+// simulator-performance regressions are visible run over run.
+func timingTable(timings []harnessTiming, scale string, parallel int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "runner timing — scale=%s parallel=%d\n", scale, parallel)
+	fmt.Fprintf(&b, "%-16s %12s %10s\n", "harness", "wall clock", "artifacts")
+	var total time.Duration
+	arts := 0
+	for _, t := range timings {
+		fmt.Fprintf(&b, "%-16s %12s %10d\n",
+			t.Name, t.Elapsed.Round(time.Millisecond), t.Artifacts)
+		total += t.Elapsed
+		arts += t.Artifacts
+	}
+	fmt.Fprintf(&b, "%-16s %12s %10d\n", "total", total.Round(time.Millisecond), arts)
+	return b.String()
 }
 
 // writer renders artifacts to stdout (tables) and files.

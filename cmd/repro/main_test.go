@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/deeppower/deeppower/internal/exp"
 )
@@ -101,6 +102,21 @@ func TestCancelledContextRunsNothing(t *testing.T) {
 		}
 		if _, err := h.Run(ctx, exp.Quick(), 2); err == nil {
 			t.Errorf("%s: cancelled context did not abort the harness", name)
+		}
+	}
+}
+
+func TestTimingTable(t *testing.T) {
+	tbl := timingTable([]harnessTiming{
+		{Name: "fig4", Elapsed: 120 * time.Millisecond, Artifacts: 2},
+		{Name: "table3", Elapsed: 80 * time.Millisecond, Artifacts: 1},
+	}, "quick", 4)
+	for _, want := range []string{
+		"scale=quick parallel=4", "fig4", "table3", "120ms", "80ms",
+		"total", "200ms", // summed wall clock
+	} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("timing table missing %q:\n%s", want, tbl)
 		}
 	}
 }

@@ -64,11 +64,15 @@ func Train(dp Trainable, cfg TrainConfig) ([]EpisodeStats, error) {
 	}
 	dp.SetTrain(true)
 	stats := make([]EpisodeStats, 0, cfg.Episodes)
+	// One engine serves the whole run: Reset recycles its event arena and
+	// free-list between episodes, so episode N+1 schedules into the warm
+	// storage episode N grew instead of reallocating it.
+	eng := sim.NewEngine()
 	for ep := 0; ep < cfg.Episodes; ep++ {
 		sc := cfg.Server
 		sc.Seed = cfg.Server.Seed + int64(ep)*7919
 		sc.DiscardLatencies = false
-		eng := sim.NewEngine()
+		eng.Reset()
 		srv, err := server.New(eng, sc, dp)
 		if err != nil {
 			return stats, err

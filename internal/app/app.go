@@ -36,6 +36,16 @@ type Sampler interface {
 	FeatureDim() int
 }
 
+// IntoSampler is an optional Sampler extension for allocation-free request
+// generation: SampleInto overwrites w in place, reusing w.Features' backing
+// storage. It must consume the RNG exactly as Sample does, so the two forms
+// are interchangeable without perturbing seeded runs. The server uses it to
+// pool Request objects without allocating a feature vector per arrival.
+type IntoSampler interface {
+	Sampler
+	SampleInto(r *sim.RNG, w *Work)
+}
+
 // Profile is one latency-critical application.
 type Profile struct {
 	// Name is the Tailbench application name.

@@ -41,6 +41,15 @@ func (s *TailedSampler) FeatureDim() int { return 3 }
 
 // Sample implements Sampler.
 func (s *TailedSampler) Sample(r *sim.RNG) Work {
+	var w Work
+	s.SampleInto(r, &w)
+	return w
+}
+
+// SampleInto implements IntoSampler: identical draws to Sample, but the
+// sampled work overwrites w, reusing its Features storage when the backing
+// array is large enough.
+func (s *TailedSampler) SampleInto(r *sim.RNG, w *Work) {
 	x1 := r.LogNormal(0, s.Sigma1)
 	x2 := r.Float64()
 	typ := s.sampleType(r)
@@ -52,10 +61,8 @@ func (s *TailedSampler) Sample(r *sim.RNG) Work {
 	if s.TailProb > 0 && r.Bernoulli(s.TailProb) {
 		us += r.Pareto(s.TailScale, s.TailAlpha)
 	}
-	return Work{
-		ServiceRef: sim.Micros(us),
-		Features:   []float64{x1, x2, float64(typ)},
-	}
+	w.ServiceRef = sim.Micros(us)
+	w.Features = append(w.Features[:0], x1, x2, float64(typ))
 }
 
 func (s *TailedSampler) sampleType(r *sim.RNG) int {

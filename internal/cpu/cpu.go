@@ -229,16 +229,27 @@ type Segment struct {
 // Segments splits [from, to] into spans of constant frequency (one span, or
 // two if a pending DVFS transition matures inside the interval).
 func (c *Core) Segments(from, to sim.Time) []Segment {
+	var buf [2]Segment
+	n := c.SegmentsInto(from, to, &buf)
+	out := make([]Segment, n)
+	copy(out, buf[:n])
+	return out
+}
+
+// SegmentsInto is the allocation-free form of Segments: it writes the spans
+// into out and returns how many were written (1 or 2). Hot accounting loops
+// pass a stack buffer so per-tick power integration allocates nothing.
+func (c *Core) SegmentsInto(from, to sim.Time, out *[2]Segment) int {
 	if to < from {
 		panic(fmt.Sprintf("cpu: Segments interval reversed: %v > %v", from, to))
 	}
 	if c.pendingAt > from && c.pendingAt < to {
-		return []Segment{
-			{From: from, To: c.pendingAt, F: c.cur},
-			{From: c.pendingAt, To: to, F: c.pending},
-		}
+		out[0] = Segment{From: from, To: c.pendingAt, F: c.cur}
+		out[1] = Segment{From: c.pendingAt, To: to, F: c.pending}
+		return 2
 	}
-	return []Segment{{From: from, To: to, F: c.FreqAt(from)}}
+	out[0] = Segment{From: from, To: to, F: c.FreqAt(from)}
+	return 1
 }
 
 // TimeFor returns how long the core needs, starting at from, to retire

@@ -22,8 +22,11 @@ var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden ar
 // goldenHarnesses are the fixed-seed harnesses pinned byte-for-byte. fig8
 // trains the full DDPG DeepPower agent; ablation additionally exercises the
 // two-head actor, the TD3 backend, and the DQN comparison — together they
-// cover every training code path the batched kernels replaced.
-var goldenHarnesses = []string{"fig8", "ablation"}
+// cover every training code path the batched kernels replaced. fig4 records
+// a tick-resolution controller frequency trace with request begin/end
+// markers, pinning the event engine's exact firing order (arrivals,
+// completions, ticks) through the simulation-core fast path.
+var goldenHarnesses = []string{"fig4", "fig8", "ablation"}
 
 // TestGoldenArtifacts asserts every pinned harness renders byte-identical
 // artifacts to the committed goldens in testdata/golden/.

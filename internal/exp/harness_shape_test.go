@@ -115,16 +115,21 @@ func TestFig7Shape(t *testing.T) {
 	}
 }
 
-// TestOverheadTableShape covers the overhead harness's rendering: all five
-// §5.5 rows present with the measured columns populated.
+// TestOverheadTableShape covers the overhead harness's rendering: the five
+// §5.5 rows plus the two simulator-throughput rows, with the measured
+// columns populated.
 func TestOverheadTableShape(t *testing.T) {
 	r, err := Overhead()
 	if err != nil {
 		t.Fatal(err)
 	}
+	if r.SimEvents == 0 || r.SimEventsPerSec <= 0 {
+		t.Errorf("simulator throughput not measured: events=%d, events/s=%v",
+			r.SimEvents, r.SimEventsPerSec)
+	}
 	tbl := r.Table()
-	if len(tbl.Rows) != 5 {
-		t.Fatalf("overhead table has %d rows, want 5", len(tbl.Rows))
+	if len(tbl.Rows) != 7 {
+		t.Fatalf("overhead table has %d rows, want 7", len(tbl.Rows))
 	}
 	for _, row := range tbl.Rows {
 		if len(row) != 3 {

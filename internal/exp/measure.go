@@ -3,8 +3,12 @@ package exp
 import (
 	"time"
 
+	"github.com/deeppower/deeppower/internal/app"
+	"github.com/deeppower/deeppower/internal/baselines"
 	"github.com/deeppower/deeppower/internal/cpu"
+	"github.com/deeppower/deeppower/internal/server"
 	"github.com/deeppower/deeppower/internal/sim"
+	"github.com/deeppower/deeppower/internal/workload"
 )
 
 // measureFreqSet times the simulator's per-core frequency actuation path.
@@ -24,4 +28,33 @@ func measureFreqSet() float64 {
 		}
 	}
 	return float64(time.Since(start).Nanoseconds()) / 1000 / iters
+}
+
+// measureSimThroughput runs one ten-second steady-state episode (Xapian on
+// four workers, constant 300 rps, all-turbo baseline) and reports how many
+// events the engine fired and the wall-clock event throughput. It is the
+// overhead table's view of the simulation core's own cost: every arrival,
+// dispatch, completion, and tick is one fired event.
+func measureSimThroughput() (events uint64, perSec float64, err error) {
+	prof, err := app.ByName(app.Xapian)
+	if err != nil {
+		return 0, 0, err
+	}
+	prof.Workers = 4
+	trace := workload.Constant(300, 60*sim.Second)
+	eng := sim.NewEngine()
+	srv, err := server.New(eng, server.Config{
+		App:              prof,
+		Seed:             7,
+		DiscardLatencies: true,
+	}, baselines.NewMaxFreq())
+	if err != nil {
+		return 0, 0, err
+	}
+	start := time.Now()
+	if _, err := srv.Run(trace, 10*sim.Second); err != nil {
+		return 0, 0, err
+	}
+	elapsed := time.Since(start).Seconds()
+	return eng.Fired(), float64(eng.Fired()) / elapsed, nil
 }

@@ -25,6 +25,13 @@ type OverheadResult struct {
 	FreqSetUS       float64 // one SetFreq round-trip in the simulator
 	PaperTrainMS    float64
 	PaperActorParam int
+
+	// SimEvents and SimEventsPerSec report the simulation core's own
+	// throughput over a ten-second reference episode: how many engine
+	// events fired, and fired events per wall-clock second. They bound the
+	// simulator's contribution to any measured overhead above.
+	SimEvents       uint64
+	SimEventsPerSec float64
 }
 
 // Overhead measures the framework's computational costs.
@@ -72,6 +79,12 @@ func Overhead() (*OverheadResult, error) {
 
 	// Frequency-set cost: a SetFreq call against a live core model.
 	res.FreqSetUS = measureFreqSet()
+
+	// Simulator throughput: events fired over a reference episode.
+	res.SimEvents, res.SimEventsPerSec, err = measureSimThroughput()
+	if err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
@@ -94,5 +107,7 @@ func (r *OverheadResult) Table() *Table {
 	t.AddRow("actor parameters", f(float64(r.ActorParams)), f(float64(r.PaperActorParam)))
 	t.AddRow("per-core freq set (us)", f3(r.FreqSetUS), "< 10")
 	t.AddRow("framework power (W)", "n/a (simulated)", "2.81")
+	t.AddRow("sim events, 10s episode", f(float64(r.SimEvents)), "n/a (simulation)")
+	t.AddRow("sim throughput (events/s)", f(r.SimEventsPerSec), "n/a (simulation)")
 	return t
 }

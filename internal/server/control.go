@@ -41,10 +41,7 @@ func (s *Server) SetFreq(core int, f cpu.Freq) {
 		if delay > 0 {
 			if !s.applyPending[core] {
 				s.applyPending[core] = true
-				s.eng.After(delay, func() {
-					s.applyPending[core] = false
-					s.applyFreq(core, s.wantFreq[core])
-				})
+				s.eng.After(delay, s.applyFns[core])
 			}
 			return
 		}

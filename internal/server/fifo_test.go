@@ -1,0 +1,129 @@
+package server
+
+import "testing"
+
+// TestFIFOWraparound drives the counters across the ring boundary many times
+// and checks FIFO order is preserved while head/tail wrap.
+func TestFIFOWraparound(t *testing.T) {
+	var q fifo
+	next := uint64(0) // next ID to push
+	want := uint64(0) // next ID expected from Pop
+	// Keep the queue depth oscillating between 3 and 13 so the live window
+	// straddles the 16-slot ring boundary repeatedly.
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 10; i++ {
+			q.Push(&Request{ID: next})
+			next++
+		}
+		for i := 0; i < 10; i++ {
+			r := q.Pop()
+			if r == nil {
+				t.Fatalf("round %d: unexpected empty pop", round)
+			}
+			if r.ID != want {
+				t.Fatalf("round %d: popped ID %d, want %d", round, r.ID, want)
+			}
+			want++
+		}
+	}
+	if got := len(q.buf); got != 16 {
+		t.Errorf("ring grew during wraparound churn: len(buf) = %d, want 16", got)
+	}
+}
+
+// TestFIFOGrowWhileWrapped forces growth at a moment when the live window
+// wraps around the ring end, which exercises the unwrap-copy in grow.
+func TestFIFOGrowWhileWrapped(t *testing.T) {
+	var q fifo
+	// Fill the initial 16-slot ring, then pop a few so head > 0.
+	for i := 0; i < 16; i++ {
+		q.Push(&Request{ID: uint64(i)})
+	}
+	for i := 0; i < 5; i++ {
+		q.Pop()
+	}
+	// Refill past the physical end: the live window now wraps, and the next
+	// pushes trigger grow() with a wrapped window.
+	for i := 16; i < 40; i++ {
+		q.Push(&Request{ID: uint64(i)})
+	}
+	if q.Len() != 35 {
+		t.Fatalf("Len = %d, want 35", q.Len())
+	}
+	for want := uint64(5); want < 40; want++ {
+		r := q.Pop()
+		if r == nil || r.ID != want {
+			t.Fatalf("popped %v, want ID %d", r, want)
+		}
+	}
+	if q.Pop() != nil {
+		t.Error("queue should be empty")
+	}
+}
+
+// TestFIFOPopReleasesSlot checks popped ring slots are nilled so the ring
+// does not pin completed requests for the GC.
+func TestFIFOPopReleasesSlot(t *testing.T) {
+	var q fifo
+	for i := 0; i < 8; i++ {
+		q.Push(&Request{ID: uint64(i)})
+	}
+	for i := 0; i < 8; i++ {
+		q.Pop()
+	}
+	for i, r := range q.buf {
+		if r != nil {
+			t.Errorf("buf[%d] still holds a request after pop", i)
+		}
+	}
+}
+
+// TestFIFOPeekAcrossWrap checks Peek indexes logically (0 = head) even when
+// the live window wraps the physical ring end.
+func TestFIFOPeekAcrossWrap(t *testing.T) {
+	var q fifo
+	for i := 0; i < 16; i++ {
+		q.Push(&Request{ID: uint64(i)})
+	}
+	for i := 0; i < 12; i++ {
+		q.Pop()
+	}
+	for i := 16; i < 26; i++ { // window [12, 26) wraps the 16-slot ring
+		q.Push(&Request{ID: uint64(i)})
+	}
+	for i := 0; i < q.Len(); i++ {
+		if r := q.Peek(i); r == nil || r.ID != uint64(12+i) {
+			t.Fatalf("Peek(%d) = %v, want ID %d", i, r, 12+i)
+		}
+	}
+	if q.Peek(-1) != nil || q.Peek(q.Len()) != nil {
+		t.Error("out-of-range Peek should return nil")
+	}
+}
+
+// TestFIFOSteadyStateZeroAllocs checks that once the ring has reached its
+// high-water mark, push/pop cycles allocate nothing.
+func TestFIFOSteadyStateZeroAllocs(t *testing.T) {
+	var q fifo
+	reqs := make([]*Request, 32)
+	for i := range reqs {
+		reqs[i] = &Request{ID: uint64(i)}
+	}
+	for _, r := range reqs { // establish the high-water mark
+		q.Push(r)
+	}
+	for range reqs {
+		q.Pop()
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, r := range reqs {
+			q.Push(r)
+		}
+		for range reqs {
+			q.Pop()
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state push/pop allocated %.1f times per run, want 0", allocs)
+	}
+}

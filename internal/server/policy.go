@@ -68,6 +68,10 @@ type Counters struct {
 	Dispatched  uint64
 	Completions uint64
 	Timeouts    uint64 // completions whose latency exceeded the SLA
+	// LatencyDropped counts completions whose latency sample was not
+	// retained because Config.LatencyCap was reached. The streaming
+	// mean/p99 digests still include them.
+	LatencyDropped uint64
 }
 
 // Policy is a power-management strategy plugged into the server. All

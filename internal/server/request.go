@@ -63,29 +63,50 @@ func (r *Request) SLARemaining(now, sla sim.Time) sim.Time {
 // Elapsed returns how long the request has been in the system at now.
 func (r *Request) Elapsed(now sim.Time) sim.Time { return now - r.Arrive }
 
-// fifo is an allocation-friendly FIFO queue of requests.
+// fifo is a FIFO queue of requests backed by a power-of-two ring buffer.
+// Pushes and pops move two monotone counters over a fixed ring — no
+// head-offset slice growth, no compaction copies — so a steady-state queue
+// allocates nothing. The ring grows (doubling, preserving order) only when
+// the queue's high-water mark rises; popped slots are nilled so completed
+// requests are not pinned by the ring.
 type fifo struct {
-	items []*Request
-	head  int
+	buf        []*Request // power-of-two length (0 until first Push)
+	head, tail uint64     // monotone counters; queued = [head, tail)
 }
 
-func (q *fifo) Len() int { return len(q.items) - q.head }
+func (q *fifo) Len() int { return int(q.tail - q.head) }
 
-func (q *fifo) Push(r *Request) { q.items = append(q.items, r) }
+func (q *fifo) Push(r *Request) {
+	if int(q.tail-q.head) == len(q.buf) {
+		q.grow()
+	}
+	q.buf[q.tail&uint64(len(q.buf)-1)] = r
+	q.tail++
+}
+
+// grow doubles the ring, unwrapping the live window to the front.
+func (q *fifo) grow() {
+	n := len(q.buf) * 2
+	if n == 0 {
+		n = 16
+	}
+	nb := make([]*Request, n)
+	for i, c := 0, q.head; c != q.tail; i, c = i+1, c+1 {
+		nb[i] = q.buf[c&uint64(len(q.buf)-1)]
+	}
+	q.buf = nb
+	q.tail -= q.head
+	q.head = 0
+}
 
 func (q *fifo) Pop() *Request {
-	if q.Len() == 0 {
+	if q.head == q.tail {
 		return nil
 	}
-	r := q.items[q.head]
-	q.items[q.head] = nil
+	i := q.head & uint64(len(q.buf)-1)
+	r := q.buf[i]
+	q.buf[i] = nil // release the slot's reference
 	q.head++
-	// Compact once the dead prefix dominates.
-	if q.head > 64 && q.head*2 >= len(q.items) {
-		n := copy(q.items, q.items[q.head:])
-		q.items = q.items[:n]
-		q.head = 0
-	}
 	return r
 }
 
@@ -94,5 +115,5 @@ func (q *fifo) Peek(i int) *Request {
 	if i < 0 || i >= q.Len() {
 		return nil
 	}
-	return q.items[q.head+i]
+	return q.buf[(q.head+uint64(i))&uint64(len(q.buf)-1)]
 }

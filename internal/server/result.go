@@ -55,12 +55,47 @@ type Result struct {
 	PolicyStats map[string]float64
 }
 
+// latBlocks retains latency samples in chunked, individually preallocated
+// blocks: appends never copy previously stored samples (no slice-doubling
+// churn in long runs) and one block allocation amortizes over latBlockSize
+// completions. The flat view is materialized once, at result construction.
+type latBlocks struct {
+	blocks [][]float64
+	n      int // total samples stored
+}
+
+// latBlockSize is the per-block capacity; 4096 float64s = one 32 KiB block.
+const latBlockSize = 4096
+
+func (l *latBlocks) add(v float64) {
+	if len(l.blocks) == 0 || len(l.blocks[len(l.blocks)-1]) == latBlockSize {
+		l.blocks = append(l.blocks, make([]float64, 0, latBlockSize))
+	}
+	b := len(l.blocks) - 1
+	l.blocks[b] = append(l.blocks[b], v)
+	l.n++
+}
+
+// flatten materializes the samples as one contiguous slice (nil when empty,
+// matching the previous plain-slice behavior).
+func (l *latBlocks) flatten() []float64 {
+	if l.n == 0 {
+		return nil
+	}
+	out := make([]float64, 0, l.n)
+	for _, b := range l.blocks {
+		out = append(out, b...)
+	}
+	return out
+}
+
 func (s *Server) buildResult(start, duration sim.Time) *Result {
 	measured := duration - s.cfg.Warmup
 	if measured <= 0 {
 		measured = duration
 	}
 	energy := s.meter.Energy() - s.warmupEnergy
+	latencies := s.latencies.flatten()
 	res := &Result{
 		Policy:    s.policy.Name(),
 		App:       s.prof.Name,
@@ -70,12 +105,12 @@ func (s *Server) buildResult(start, duration sim.Time) *Result {
 		AvgPowerW: energy / measured.Seconds(),
 		AvgFreqGHz: s.totalCycles /
 			(float64(len(s.cores)) * duration.Seconds()),
-		Latencies: s.latencies,
+		Latencies: latencies,
 		SLA:       s.prof.SLA,
 		Series:    s.series,
 		FreqTrace: s.freqTrace,
 	}
-	res.Latency = stats.Summarize(s.latencies)
+	res.Latency = stats.Summarize(latencies)
 	if s.cfg.DiscardLatencies && s.latMean.N() > 0 {
 		// Streamed digests replace the (discarded) sample set.
 		res.Latency.N = s.latMean.N()

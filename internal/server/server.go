@@ -27,6 +27,12 @@ type Config struct {
 	// DiscardLatencies disables per-request latency retention (long
 	// training runs only need counters).
 	DiscardLatencies bool
+	// LatencyCap, when positive, bounds how many per-request latency
+	// samples are retained; completions beyond the cap are counted in
+	// Counters.LatencyDropped instead of retained, so long runs have
+	// bounded memory even without DiscardLatencies. The streaming
+	// mean/p99 digests still see every completion. 0 means unlimited.
+	LatencyCap int
 	// SeriesInterval, when positive, records a time series row every
 	// interval (RPS, power, queue, frequency) for Fig. 8-style plots.
 	SeriesInterval sim.Time
@@ -74,6 +80,9 @@ func (c *Config) withDefaults() (Config, error) {
 	if out.Warmup < 0 || out.SeriesInterval < 0 {
 		return out, fmt.Errorf("server: negative warmup or series interval")
 	}
+	if out.LatencyCap < 0 {
+		return out, fmt.Errorf("server: negative latency cap %d", out.LatencyCap)
+	}
 	return out, nil
 }
 
@@ -81,8 +90,12 @@ func (c *Config) withDefaults() (Config, error) {
 type worker struct {
 	core     *cpu.Core
 	req      *Request
-	lastSync sim.Time   // work progress is integrated up to here
-	compl    *sim.Event // tentative completion event
+	lastSync sim.Time  // work progress is integrated up to here
+	compl    sim.Event // tentative completion event
+
+	// completeFn is the worker's completion callback, bound once at
+	// construction so rescheduling a completion never allocates a closure.
+	completeFn func()
 }
 
 // Server simulates the latency-critical system under one Policy.
@@ -98,8 +111,9 @@ type Server struct {
 
 	counters     Counters
 	applyPending []bool     // per-core governor apply in flight (fault delays)
+	applyFns     []func()   // per-core delayed-apply callbacks, bound once
 	wantFreq     []cpu.Freq // last accepted governor request per core
-	latencies    []float64  // seconds, completed requests after warmup
+	latencies    latBlocks  // seconds, completed requests after warmup
 	latMean      stats.Welford
 	latP99       *stats.P2Quantile
 	totalCycles  float64 // Σ freq·dt over all cores, for avg frequency
@@ -112,6 +126,16 @@ type Server struct {
 	arrivals   *workload.Arrivals
 	nextID     uint64
 	endAt      sim.Time
+	runStart   sim.Time
+	cancelTick func()
+
+	// arrivalFn is the arrival callback bound once at construction, and
+	// reqFree pools completed Requests for reuse within the episode —
+	// together with the workers' bound completion callbacks they make a
+	// steady-state arrival/dispatch/complete cycle allocation-free.
+	arrivalFn  func()
+	reqFree    []*Request
+	sampleInto app.IntoSampler // non-nil when the profile's sampler supports reuse
 
 	series    *Series
 	freqTrace *FreqTrace
@@ -140,14 +164,24 @@ func New(eng *sim.Engine, cfg Config, policy Policy) (*Server, error) {
 	s.workers = make([]*worker, n)
 	s.powerLast = make([]sim.Time, n)
 	s.applyPending = make([]bool, n)
+	s.applyFns = make([]func(), n)
 	s.wantFreq = make([]cpu.Freq, n)
 	for i := range s.wantFreq {
 		s.wantFreq[i] = full.Ladder.Max // NewCore's starting point
 	}
 	for i := 0; i < n; i++ {
-		s.cores[i] = cpu.NewCore(i, full.Ladder)
-		s.workers[i] = &worker{core: s.cores[i]}
+		i := i
+		w := &worker{core: cpu.NewCore(i, full.Ladder)}
+		w.completeFn = func() { s.onComplete(w) }
+		s.cores[i] = w.core
+		s.workers[i] = w
+		s.applyFns[i] = func() {
+			s.applyPending[i] = false
+			s.applyFreq(i, s.wantFreq[i])
+		}
 	}
+	s.arrivalFn = s.onArrival
+	s.sampleInto, _ = full.App.Sampler.(app.IntoSampler)
 	if full.SeriesInterval > 0 {
 		s.series = newSeries(full.SeriesInterval)
 	}
@@ -165,13 +199,27 @@ func (s *Server) EnableFreqTrace(from, to sim.Time) *FreqTrace {
 // Run drives the simulation with arrivals drawn from trace until duration
 // of virtual time has elapsed, then returns the result.
 func (s *Server) Run(trace *workload.Trace, duration sim.Time) (*Result, error) {
-	if err := trace.Validate(); err != nil {
+	if err := s.Begin(trace, duration); err != nil {
 		return nil, err
 	}
+	s.eng.RunUntil(s.endAt)
+	return s.End(), nil
+}
+
+// Begin validates and arms the simulation — arrival generator, policy,
+// control-loop tick — without driving the engine. Callers that need to
+// interleave the run with other engine activity (or measure it step by
+// step) drive eng.RunUntil themselves up to Begin's duration and then call
+// End. Run is Begin + RunUntil(end) + End.
+func (s *Server) Begin(trace *workload.Trace, duration sim.Time) error {
+	if err := trace.Validate(); err != nil {
+		return err
+	}
 	if duration <= 0 {
-		return nil, fmt.Errorf("server: non-positive duration %v", duration)
+		return fmt.Errorf("server: non-positive duration %v", duration)
 	}
 	start := s.eng.Now()
+	s.runStart = start
 	s.endAt = start + duration
 	for i := range s.powerLast {
 		s.powerLast[i] = start
@@ -181,16 +229,19 @@ func (s *Server) Run(trace *workload.Trace, duration sim.Time) (*Result, error) 
 	s.policy.Init(s)
 
 	// Control loop: the paper's ShortTime tick.
-	cancelTick := s.eng.Every(start+s.cfg.Tick, s.cfg.Tick, s.onTick)
-	defer cancelTick()
+	s.cancelTick = s.eng.Every(start+s.cfg.Tick, s.cfg.Tick, s.onTick)
 
 	s.scheduleNextArrival()
-	s.eng.RunUntil(s.endAt)
+	return nil
+}
 
-	// Final accounting.
+// End settles accounting at the run's end time, stops the control loop, and
+// builds the result. The engine must have been driven to Begin's duration.
+func (s *Server) End() *Result {
+	s.cancelTick()
 	s.accrueAll(s.endAt)
 	s.accrueUncore(s.endAt)
-	return s.buildResult(start, duration), nil
+	return s.buildResult(s.runStart, s.endAt-s.runStart)
 }
 
 func (s *Server) scheduleNextArrival() {
@@ -208,18 +259,41 @@ func (s *Server) scheduleNextArrival() {
 			return
 		}
 	}
-	s.eng.At(at, s.onArrival)
+	s.eng.At(at, s.arrivalFn)
+}
+
+// getRequest takes a Request from the episode pool, or allocates one when
+// the pool is dry (only while the in-flight high-water mark still rises).
+func (s *Server) getRequest() *Request {
+	if n := len(s.reqFree); n > 0 {
+		r := s.reqFree[n-1]
+		s.reqFree = s.reqFree[:n-1]
+		return r
+	}
+	return &Request{}
+}
+
+// putRequest recycles a completed request. Callers must not touch r after
+// this; the Policy contract (no retention beyond callbacks) is what makes
+// recycling sound.
+func (s *Server) putRequest(r *Request) {
+	s.reqFree = append(s.reqFree, r)
 }
 
 func (s *Server) onArrival() {
 	now := s.eng.Now()
-	r := &Request{
-		ID:     s.nextID,
-		Arrive: now,
-		Start:  -1,
-		Finish: -1,
-		CoreID: -1,
-		Work:   s.prof.Sampler.Sample(s.rngService),
+	r := s.getRequest()
+	r.ID = s.nextID
+	r.Arrive = now
+	r.Start = -1
+	r.Finish = -1
+	r.CoreID = -1
+	r.ServiceActual = 0
+	r.remaining = 0
+	if s.sampleInto != nil {
+		s.sampleInto.SampleInto(s.rngService, &r.Work)
+	} else {
+		r.Work = s.prof.Sampler.Sample(s.rngService)
 	}
 	s.nextID++
 	s.counters.Arrivals++
@@ -305,12 +379,9 @@ func (s *Server) completionTime(w *worker, now sim.Time) sim.Time {
 
 func (s *Server) scheduleCompletion(w *worker) {
 	now := s.eng.Now()
-	if w.compl != nil {
-		s.eng.Cancel(w.compl)
-		w.compl = nil
-	}
+	s.eng.Cancel(w.compl) // no-op on the zero Event or an already-fired one
 	at := s.completionTime(w, now)
-	w.compl = s.eng.At(at, func() { s.onComplete(w) })
+	w.compl = s.eng.At(at, w.completeFn)
 }
 
 // syncWorker integrates the request's progress up to now. A busy worker's
@@ -323,7 +394,9 @@ func (s *Server) syncWorker(w *worker, now sim.Time) {
 	if now <= w.lastSync {
 		return
 	}
-	for _, seg := range w.core.Segments(w.lastSync, now) {
+	var segs [2]cpu.Segment
+	n := w.core.SegmentsInto(w.lastSync, now, &segs)
+	for _, seg := range segs[:n] {
 		w.req.remaining -= (seg.To - seg.From).Seconds() * s.prof.SpeedAt(seg.F)
 	}
 	w.lastSync = now
@@ -338,7 +411,7 @@ func (s *Server) onComplete(w *worker) {
 	s.syncWorker(w, now)
 	if at := s.completionTime(w, now); at > now {
 		// Numerical drift left more than a clock tick of work; finish it.
-		w.compl = s.eng.At(at, func() { s.onComplete(w) })
+		w.compl = s.eng.At(at, w.completeFn)
 		return
 	}
 	r.Finish = now
@@ -346,7 +419,7 @@ func (s *Server) onComplete(w *worker) {
 
 	s.accrueCore(w, now) // busy → idle power transition
 	w.req = nil
-	w.compl = nil
+	w.compl = sim.Event{}
 
 	s.counters.Completions++
 	lat := r.Latency()
@@ -355,17 +428,25 @@ func (s *Server) onComplete(w *worker) {
 	}
 	if now >= s.cfg.Warmup {
 		// Streaming digests stay O(1) regardless of run length; the full
-		// sample set is retained only when the caller wants it.
+		// sample set is retained only when the caller wants it, in chunked
+		// blocks bounded by LatencyCap.
 		s.latMean.Add(lat.Seconds())
 		s.latP99.Add(lat.Seconds())
 		if !s.cfg.DiscardLatencies {
-			s.latencies = append(s.latencies, lat.Seconds())
+			if s.cfg.LatencyCap > 0 && s.latencies.n >= s.cfg.LatencyCap {
+				s.counters.LatencyDropped++
+			} else {
+				s.latencies.add(lat.Seconds())
+			}
 		}
 	}
 	if s.freqTrace != nil {
 		s.freqTrace.markEnd(now, w.core.ID())
 	}
 	s.policy.OnComplete(r, w.core.ID())
+	// The policy contract forbids retaining r beyond the callback, so the
+	// request can be recycled for a future arrival.
+	s.putRequest(r)
 
 	// A core that failed mid-request drains it but takes no new work; the
 	// queue waits for an online worker (the next arrival or tick).
@@ -438,7 +519,9 @@ func (s *Server) accrueCore(w *worker, now sim.Time) {
 	if !busy {
 		factor = w.core.CState().PowerFactor()
 	}
-	for _, seg := range w.core.Segments(from, now) {
+	var segs [2]cpu.Segment
+	n := w.core.SegmentsInto(from, now, &segs)
+	for _, seg := range segs[:n] {
 		s.meter.Accrue(seg.From, seg.To, s.cfg.Power.CorePower(seg.F, busy)*factor)
 		s.totalCycles += float64(seg.F) * (seg.To - seg.From).Seconds()
 	}

@@ -1,0 +1,46 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineSchedule measures the scheduler's steady-state churn: one
+// After + one Step per iteration against a standing population of pending
+// events, the access pattern the server's arrival/completion/tick traffic
+// produces. results/BENCH_sim.json snapshots events/sec and allocs/op.
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	const standing = 512
+	for i := 0; i < standing; i++ {
+		e.After(Time(i+1), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(standing, fn)
+		e.Step()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkEngineScheduleCancel measures the schedule-then-cancel pattern the
+// server's tentative completion events produce: every DVFS actuation on a
+// busy core cancels and reschedules that worker's completion.
+func BenchmarkEngineScheduleCancel(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	const standing = 512
+	for i := 0; i < standing; i++ {
+		e.After(Time(i+1), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := e.After(standing/2, fn)
+		e.Cancel(ev)
+		e.After(standing, fn)
+		e.Step()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+}

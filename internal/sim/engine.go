@@ -1,63 +1,66 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
-// Event is a scheduled callback. Events are created through Engine.At or
-// Engine.After and may be cancelled with Engine.Cancel before they fire.
+// Event is a cancellable handle to a scheduled callback, returned by
+// Engine.At and Engine.After. It is a small value (not a pointer): the
+// engine stores events in an index-stable arena and hands out generation-
+// checked references, so scheduling allocates nothing in steady state and a
+// stale handle (fired, cancelled, or from before a Reset) can never reach a
+// recycled slot. The zero Event refers to no event; cancelling it is a no-op.
 type Event struct {
-	at    Time
-	seq   uint64 // tie-breaker: FIFO among events at the same instant
-	fn    func()
-	index int // heap index, -1 once popped or cancelled
+	eng *Engine
+	at  Time
+	ref uint32 // arena index + 1; 0 = no event
+	gen uint32 // must match the slot's generation to be live
 }
 
-// At reports when the event is scheduled to fire.
-func (e *Event) At() Time { return e.at }
+// At reports when the event was scheduled to fire.
+func (ev Event) At() Time { return ev.at }
 
-// Cancelled reports whether the event was removed before firing.
-func (e *Event) Cancelled() bool { return e.fn == nil }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// Cancelled reports whether the event is no longer pending: it fired, was
+// cancelled, or the engine was reset. The zero Event reports true.
+func (ev Event) Cancelled() bool {
+	if ev.eng == nil || ev.ref == 0 {
+		return true
 	}
-	return h[i].seq < h[j].seq
+	return ev.eng.arena[ev.ref-1].gen != ev.gen
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+// slot is one arena entry. Slots are recycled through a free list; gen
+// increments on every release so outstanding handles become inert rather
+// than aliasing the slot's next occupant.
+type slot struct {
+	fn  func()
+	gen uint32
+	pos int32 // index into the heap's node array, -1 when not queued
 }
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+
+// node is one entry of the typed 4-ary min-heap. The sort key (at, seq)
+// lives inline in the node so comparisons never chase an arena pointer.
+type node struct {
+	at  Time
+	seq uint64
+	idx int32 // arena slot holding the callback
 }
 
 // Engine is a discrete-event simulation driver. It is not safe for concurrent
 // use; a simulation is a single logical thread of control whose parallelism,
 // if any, lives inside individual event handlers.
+//
+// The scheduler is a concrete 4-ary min-heap over an index-stable event
+// arena with a free list: At/After/Cancel and the run loop perform zero heap
+// allocations in steady state and no interface boxing. Events with equal
+// firing times keep FIFO order via a monotone sequence number, so the pop
+// order is a strict total order on (at, seq) — identical to the previous
+// container/heap implementation bit for bit.
 type Engine struct {
-	now     Time
-	events  eventHeap
-	seq     uint64
-	stopped bool
-	fired   uint64
+	now   Time
+	nodes []node // 4-ary min-heap ordered by (at, seq)
+	arena []slot
+	free  []int32 // recycled arena indices (LIFO)
+	seq   uint64
+	fired uint64
 }
 
 // NewEngine returns an engine whose clock starts at zero.
@@ -72,25 +75,53 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending reports how many events are scheduled but not yet fired.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return len(e.nodes) }
+
+// Reset returns the engine to its initial state — clock at zero, no pending
+// events, counters cleared — while keeping the event arena, free list, and
+// heap storage so a reused engine schedules without re-growing them. All
+// outstanding Event handles are invalidated (Cancel on them is a no-op).
+// A reset engine is observably identical to a fresh NewEngine.
+func (e *Engine) Reset() {
+	e.nodes = e.nodes[:0]
+	e.free = e.free[:0]
+	for i := range e.arena {
+		s := &e.arena[i]
+		s.fn = nil
+		s.gen++
+		s.pos = -1
+		e.free = append(e.free, int32(i))
+	}
+	e.now, e.seq, e.fired = 0, 0, 0
+}
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: it is always a logic error in a discrete-event model.
-func (e *Engine) At(t Time, fn func()) *Event {
+func (e *Engine) At(t Time, fn func()) Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	if fn == nil {
 		panic("sim: scheduling nil event func")
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
+	var idx int32
+	if n := len(e.free); n > 0 {
+		idx = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.arena = append(e.arena, slot{})
+		idx = int32(len(e.arena) - 1)
+	}
+	s := &e.arena[idx]
+	s.fn = fn
+	e.nodes = append(e.nodes, node{at: t, seq: e.seq, idx: idx})
 	e.seq++
-	heap.Push(&e.events, ev)
-	return ev
+	e.siftUp(len(e.nodes) - 1)
+	return Event{eng: e, at: t, ref: uint32(idx) + 1, gen: s.gen}
 }
 
 // After schedules fn to run d after the current time.
-func (e *Engine) After(d Time, fn func()) *Event {
+func (e *Engine) After(d Time, fn func()) Event {
 	return e.At(e.now+d, fn)
 }
 
@@ -101,7 +132,7 @@ func (e *Engine) Every(start, period Time, fn func(Time)) (cancel func()) {
 	if period <= 0 {
 		panic("sim: Every with non-positive period")
 	}
-	var cur *Event
+	var cur Event
 	stopped := false
 	var tick func()
 	tick = func() {
@@ -115,40 +146,47 @@ func (e *Engine) Every(start, period Time, fn func(Time)) (cancel func()) {
 	cur = e.At(start, tick)
 	return func() {
 		stopped = true
-		if cur != nil {
-			e.Cancel(cur)
-		}
+		e.Cancel(cur)
 	}
 }
 
-// Cancel removes ev from the schedule. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.fn == nil {
+// Cancel removes ev from the schedule. Cancelling an already-fired,
+// already-cancelled, or zero Event is a no-op.
+func (e *Engine) Cancel(ev Event) {
+	if ev.eng != e || ev.ref == 0 {
 		return
 	}
-	ev.fn = nil
-	if ev.index >= 0 {
-		heap.Remove(&e.events, ev.index)
+	idx := int32(ev.ref - 1)
+	s := &e.arena[idx]
+	if s.gen != ev.gen {
+		return // fired, cancelled, or pre-Reset: stale handle
 	}
+	e.remove(int(s.pos))
+	e.release(idx)
+}
+
+// release returns an arena slot to the free list, invalidating handles.
+func (e *Engine) release(idx int32) {
+	s := &e.arena[idx]
+	s.fn = nil
+	s.gen++
+	s.pos = -1
+	e.free = append(e.free, idx)
 }
 
 // Step fires the earliest pending event, advancing the clock to its time.
 // It reports whether an event was fired.
 func (e *Engine) Step() bool {
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*Event)
-		if ev.fn == nil {
-			continue // cancelled
-		}
-		e.now = ev.at
-		fn := ev.fn
-		ev.fn = nil
-		e.fired++
-		fn()
-		return true
+	if len(e.nodes) == 0 {
+		return false
 	}
-	return false
+	n := e.popMin()
+	e.now = n.at
+	fn := e.arena[n.idx].fn
+	e.release(n.idx)
+	e.fired++
+	fn()
+	return true
 }
 
 // RunUntil fires events in order until the next event would be after t, then
@@ -157,11 +195,7 @@ func (e *Engine) RunUntil(t Time) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: RunUntil(%v) before now %v", t, e.now))
 	}
-	for {
-		ev := e.peek()
-		if ev == nil || ev.at > t {
-			break
-		}
+	for len(e.nodes) > 0 && e.nodes[0].at <= t {
 		e.Step()
 	}
 	e.now = t
@@ -173,13 +207,89 @@ func (e *Engine) Run() {
 	}
 }
 
-func (e *Engine) peek() *Event {
-	for len(e.events) > 0 {
-		if e.events[0].fn == nil {
-			heap.Pop(&e.events)
-			continue
-		}
-		return e.events[0]
+// nodeLess orders heap nodes by (at, seq): earliest time first, FIFO among
+// events at the same instant. seq is unique, so the order is strict and the
+// pop sequence is independent of the heap's internal arrangement.
+func nodeLess(a, b node) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return nil
+	return a.seq < b.seq
+}
+
+// siftUp restores the heap property for the node at position i by moving it
+// toward the root, updating arena back-references along the way.
+func (e *Engine) siftUp(i int) {
+	n := e.nodes[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !nodeLess(n, e.nodes[p]) {
+			break
+		}
+		e.nodes[i] = e.nodes[p]
+		e.arena[e.nodes[i].idx].pos = int32(i)
+		i = p
+	}
+	e.nodes[i] = n
+	e.arena[n.idx].pos = int32(i)
+}
+
+// siftDown restores the heap property for the node at position i by moving
+// it toward the leaves.
+func (e *Engine) siftDown(i int) {
+	n := e.nodes[i]
+	sz := len(e.nodes)
+	for {
+		c := i*4 + 1
+		if c >= sz {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > sz {
+			end = sz
+		}
+		for k := c + 1; k < end; k++ {
+			if nodeLess(e.nodes[k], e.nodes[m]) {
+				m = k
+			}
+		}
+		if !nodeLess(e.nodes[m], n) {
+			break
+		}
+		e.nodes[i] = e.nodes[m]
+		e.arena[e.nodes[i].idx].pos = int32(i)
+		i = m
+	}
+	e.nodes[i] = n
+	e.arena[n.idx].pos = int32(i)
+}
+
+// popMin removes and returns the root node.
+func (e *Engine) popMin() node {
+	root := e.nodes[0]
+	last := len(e.nodes) - 1
+	e.nodes[0] = e.nodes[last]
+	e.nodes = e.nodes[:last]
+	if last > 0 {
+		e.siftDown(0)
+	}
+	return root
+}
+
+// remove deletes the node at heap position i (for Cancel).
+func (e *Engine) remove(i int) {
+	last := len(e.nodes) - 1
+	if i == last {
+		e.nodes = e.nodes[:last]
+		return
+	}
+	moved := e.nodes[last]
+	e.nodes[i] = moved
+	e.nodes = e.nodes[:last]
+	if i > 0 && nodeLess(moved, e.nodes[(i-1)/4]) {
+		e.siftUp(i)
+	} else {
+		e.siftDown(i)
+	}
 }

@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestEngineOrderMatchesReference cross-checks the 4-ary heap's pop order
+// against a reference model: events must fire in strict (at, seq) order
+// regardless of insertion pattern and interleaved cancellations.
+func TestEngineOrderMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		e := NewEngine()
+		type ref struct {
+			at  Time
+			seq int
+		}
+		var want []ref
+		var got []ref
+		var handles []Event
+		n := 50 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			at := Time(rng.Intn(40)) // dense: many same-instant ties
+			i := i
+			handles = append(handles, e.At(at, func() {
+				got = append(got, ref{e.Now(), i})
+			}))
+			want = append(want, ref{at, i})
+		}
+		// Cancel a random subset before running.
+		cancelled := map[int]bool{}
+		for i := 0; i < n/4; i++ {
+			k := rng.Intn(n)
+			cancelled[k] = true
+			e.Cancel(handles[k])
+		}
+		e.Run()
+		// Reference: stable sort by at (seq order preserved among ties),
+		// minus the cancelled events.
+		var exp []ref
+		for at := Time(0); at < 40; at++ {
+			for i := 0; i < n; i++ {
+				if want[i].at == at && !cancelled[i] {
+					exp = append(exp, ref{at, i})
+				}
+			}
+		}
+		if len(got) != len(exp) {
+			t.Fatalf("trial %d: fired %d events, want %d", trial, len(got), len(exp))
+		}
+		for i := range exp {
+			if got[i] != exp[i] {
+				t.Fatalf("trial %d: event %d fired as %+v, want %+v", trial, i, got[i], exp[i])
+			}
+		}
+	}
+}
+
+// TestEngineResetEquivalence: a Reset engine must behave identically to a
+// fresh one — same fire order, clock, and counters — even after arbitrary
+// prior use grew its arena and heap.
+func TestEngineResetEquivalence(t *testing.T) {
+	run := func(e *Engine) (order []Time, fired uint64, now Time) {
+		var cancelMe Event
+		e.At(5, func() {
+			order = append(order, e.Now())
+			e.Cancel(cancelMe)
+			e.After(7, func() { order = append(order, e.Now()) })
+		})
+		cancelMe = e.At(6, func() { order = append(order, -1) })
+		e.At(6, func() { order = append(order, e.Now()) })
+		e.Run()
+		return order, e.Fired(), e.Now()
+	}
+
+	fresh := NewEngine()
+	wantOrder, wantFired, wantNow := run(fresh)
+
+	reused := NewEngine()
+	// Arbitrary prior traffic: grow arena and heap, leave pending events.
+	for i := 0; i < 300; i++ {
+		reused.After(Time(i%17+1), func() {})
+		if i%3 == 0 {
+			reused.Step()
+		}
+	}
+	stale := reused.After(1000, func() {})
+	reused.Reset()
+
+	if reused.Now() != 0 || reused.Fired() != 0 || reused.Pending() != 0 {
+		t.Fatalf("Reset left state: now=%v fired=%d pending=%d",
+			reused.Now(), reused.Fired(), reused.Pending())
+	}
+	gotOrder, gotFired, gotNow := run(reused)
+	if gotFired != wantFired || gotNow != wantNow {
+		t.Errorf("reset engine: fired=%d now=%v, fresh: fired=%d now=%v",
+			gotFired, gotNow, wantFired, wantNow)
+	}
+	if len(gotOrder) != len(wantOrder) {
+		t.Fatalf("order %v, want %v", gotOrder, wantOrder)
+	}
+	for i := range wantOrder {
+		if gotOrder[i] != wantOrder[i] {
+			t.Fatalf("order %v, want %v", gotOrder, wantOrder)
+		}
+	}
+	// A pre-Reset handle is stale: cancelling it must not disturb anything.
+	if !stale.Cancelled() {
+		t.Error("pre-Reset handle still reports live")
+	}
+	reused.Cancel(stale)
+}
+
+// TestEngineStaleHandleAfterReuse: once an event fires, its arena slot may
+// be recycled by a new event. Cancelling the old handle must not cancel the
+// slot's new occupant (the ABA hazard generation counters exist for).
+func TestEngineStaleHandleAfterReuse(t *testing.T) {
+	e := NewEngine()
+	first := e.At(1, func() {})
+	if !e.Step() {
+		t.Fatal("first event did not fire")
+	}
+	fired := false
+	second := e.At(2, func() { fired = true })
+	e.Cancel(first) // stale: must not touch the recycled slot
+	e.Run()
+	if !fired {
+		t.Fatal("stale cancel killed the slot's new occupant")
+	}
+	if second.Cancelled() != true {
+		t.Error("fired event should report Cancelled (not pending)")
+	}
+}
+
+// TestEngineScheduleZeroAllocs: steady-state scheduling — At/After, Step,
+// Cancel against a warmed arena — must not allocate.
+func TestEngineScheduleZeroAllocs(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	for i := 0; i < 256; i++ {
+		e.After(Time(i+1), fn)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		ev := e.After(100, fn)
+		e.Cancel(ev)
+		e.After(300, fn)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state schedule/cancel/fire allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestEngineArenaRecycling: the arena must not grow beyond the maximum
+// number of simultaneously pending events, no matter how many events flow
+// through in total.
+func TestEngineArenaRecycling(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	const standing = 64
+	for i := 0; i < standing; i++ {
+		e.After(Time(i+1), fn)
+	}
+	for i := 0; i < 10000; i++ {
+		e.After(standing+1, fn)
+		e.Step()
+	}
+	if got := len(e.arena); got > standing+1 {
+		t.Errorf("arena grew to %d slots for %d standing events", got, standing+1)
+	}
+}

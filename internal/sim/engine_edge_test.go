@@ -43,7 +43,7 @@ func TestEngineCancelTwice(t *testing.T) {
 	if fired != 10 {
 		t.Errorf("fired=%d, want only the surviving event (10)", fired)
 	}
-	e.Cancel(nil) // nil event is also a no-op
+	e.Cancel(Event{}) // the zero Event is also a no-op
 }
 
 // TestEngineEventAtNow: scheduling at exactly the current instant is legal
@@ -77,7 +77,7 @@ func TestEngineEventAtNow(t *testing.T) {
 func TestEngineCancelFromSameInstant(t *testing.T) {
 	e := NewEngine()
 	fired := 0
-	var victim *Event
+	var victim Event
 	e.At(10, func() {
 		fired++
 		e.Cancel(victim)
@@ -94,7 +94,7 @@ func TestEngineCancelFromSameInstant(t *testing.T) {
 func TestEngineSelfCancelInCallback(t *testing.T) {
 	e := NewEngine()
 	fired := 0
-	var self *Event
+	var self Event
 	self = e.At(5, func() {
 		fired++
 		e.Cancel(self) // already firing: no-op

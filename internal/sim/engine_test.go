@@ -96,15 +96,15 @@ func TestEngineCancel(t *testing.T) {
 	if !ev.Cancelled() {
 		t.Error("Cancelled() = false after cancel")
 	}
-	// Double cancel is a no-op.
+	// Double cancel is a no-op, as is cancelling the zero Event.
 	e.Cancel(ev)
-	e.Cancel(nil)
+	e.Cancel(Event{})
 }
 
 func TestEngineCancelDuringRun(t *testing.T) {
 	e := NewEngine()
 	fired := false
-	var ev *Event
+	var ev Event
 	e.At(5, func() { e.Cancel(ev) })
 	ev = e.At(10, func() { fired = true })
 	e.Run()

@@ -1,0 +1,136 @@
+package agent
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/deeppower/deeppower/internal/ckpt"
+	"github.com/deeppower/deeppower/internal/server"
+)
+
+// TestOnEpisodeCheckpointsToRegistry wires the training loop's episode hook
+// to a checkpoint registry: every episode exports the current policy, Puts
+// it, and Promotes it, so a crash at any point leaves a loadable last-good
+// version behind.
+func TestOnEpisodeCheckpointsToRegistry(t *testing.T) {
+	reg, err := ckpt.OpenRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := New(Config{Seed: 21, Train: true, WarmupSteps: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const episodes = 3
+	_, err = Train(dp, TrainConfig{
+		Episodes: episodes,
+		Server:   server.Config{App: smallApp(), Seed: 21, DiscardLatencies: true},
+		Trace:    testTrace(),
+		OnEpisode: func(ep int, st EpisodeStats) error {
+			var buf bytes.Buffer
+			if err := dp.SavePolicy(&buf); err != nil {
+				return err
+			}
+			v, err := reg.Put(buf.Bytes())
+			if err != nil {
+				return err
+			}
+			return reg.Promote(v)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	versions, err := reg.Versions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(versions) != episodes {
+		t.Fatalf("registry holds %d versions after %d episodes", len(versions), episodes)
+	}
+	if got := reg.History(); len(got) != episodes {
+		t.Fatalf("promotion history %v, want %d entries", got, episodes)
+	}
+
+	// The promoted head must load back into a fresh policy.
+	_, kind, payload, err := reg.GetCurrent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp2, err := New(Config{Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dp2.LoadPolicy(bytes.NewReader(ckpt.Seal(kind, payload))); err != nil {
+		t.Fatalf("promoted checkpoint does not load: %v", err)
+	}
+	s := make([]float64, StateDim)
+	a1, a2 := dp.Agent().Act(s), dp2.Agent().Act(s)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("restored policy acts differently from the trained one")
+		}
+	}
+}
+
+// TestOnEpisodeErrorAbortsTraining checks a failing hook stops the loop and
+// surfaces the partial stats.
+func TestOnEpisodeErrorAbortsTraining(t *testing.T) {
+	dp, err := New(Config{Seed: 23, Train: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("disk full")
+	stats, err := Train(dp, TrainConfig{
+		Episodes: 5,
+		Server:   server.Config{App: smallApp(), Seed: 23, DiscardLatencies: true},
+		Trace:    testTrace(),
+		OnEpisode: func(ep int, st EpisodeStats) error {
+			if ep == 1 {
+				return fmt.Errorf("checkpoint: %w", boom)
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("hook error not surfaced: %v", err)
+	}
+	if len(stats) != 2 {
+		t.Fatalf("got %d episode stats before the abort, want 2", len(stats))
+	}
+}
+
+// TestDQNPowerPolicyExport checks the value-based variant shares the policy
+// export/import entry points.
+func TestDQNPowerPolicyExport(t *testing.T) {
+	dq, err := NewDQNPower(DQNPowerConfig{Seed: 31, Train: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := dq.SavePolicy(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if k, ok := ckpt.PeekKind(buf.Bytes()); !ok || k != ckpt.KindPolicy {
+		t.Fatalf("DQNPower export is not a sealed policy container (kind %v ok %v)", k, ok)
+	}
+	dq2, err := NewDQNPower(DQNPowerConfig{Seed: 32, Train: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dq2.LoadPolicy(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if dq2.cfg.Train {
+		t.Error("LoadPolicy should switch to inference mode")
+	}
+	s := make([]float64, StateDim)
+	if dq.Agent().Act(s) != dq2.Agent().Act(s) {
+		t.Fatal("loaded Q-network acts differently")
+	}
+	if err := dq2.LoadPolicy(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("junk accepted")
+	}
+}

@@ -2,6 +2,7 @@ package agent
 
 import (
 	"fmt"
+	"io"
 
 	"github.com/deeppower/deeppower/internal/control"
 	"github.com/deeppower/deeppower/internal/rl"
@@ -124,6 +125,23 @@ func NewDQNPower(cfg DQNPowerConfig) (*DQNPower, error) {
 		eps:    full.EpsStart,
 	}, nil
 }
+
+// SavePolicy writes the trained Q-network — the same policy-export entry
+// point the DDPG-backed DeepPower provides, so the checkpoint registry and
+// rollback hook work with either variant.
+func (dq *DQNPower) SavePolicy(w io.Writer) error { return dq.agent.SavePolicy(w) }
+
+// LoadPolicy installs a trained Q-network and switches to inference.
+func (dq *DQNPower) LoadPolicy(r io.Reader) error {
+	if err := dq.agent.LoadPolicy(r); err != nil {
+		return fmt.Errorf("agent: %w", err)
+	}
+	dq.cfg.Train = false
+	return nil
+}
+
+// Agent exposes the underlying DQN learner.
+func (dq *DQNPower) Agent() *rl.DQN { return dq.agent }
 
 // Name implements server.Policy.
 func (dq *DQNPower) Name() string {

@@ -22,6 +22,11 @@ type TrainConfig struct {
 	Server server.Config
 	// Trace is the request-rate trace to train against.
 	Trace *workload.Trace
+	// OnEpisode, when non-nil, runs after every episode with its stats —
+	// the hook point for periodic checkpointing (export the policy, Put
+	// and Promote it into a ckpt.Registry). A returned error aborts
+	// training with the stats collected so far.
+	OnEpisode func(ep int, st EpisodeStats) error
 }
 
 // Trainable is a policy the training loop can drive: DeepPower (DDPG) and
@@ -95,6 +100,11 @@ func Train(dp Trainable, cfg TrainConfig) ([]EpisodeStats, error) {
 			}
 		}
 		stats = append(stats, st)
+		if cfg.OnEpisode != nil {
+			if err := cfg.OnEpisode(ep, st); err != nil {
+				return stats, fmt.Errorf("agent: episode %d hook: %w", ep, err)
+			}
+		}
 	}
 	dp.SetTrain(false)
 	return stats, nil

@@ -1,0 +1,160 @@
+package exp
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"github.com/deeppower/deeppower/internal/agent"
+	"github.com/deeppower/deeppower/internal/app"
+	"github.com/deeppower/deeppower/internal/cpu"
+	"github.com/deeppower/deeppower/internal/fault"
+	"github.com/deeppower/deeppower/internal/server"
+	"github.com/deeppower/deeppower/internal/sim"
+	"github.com/deeppower/deeppower/internal/workload"
+)
+
+// invSampler serves fixed-size requests for the invariant suite.
+type invSampler struct{ service sim.Time }
+
+func (s invSampler) Sample(*sim.RNG) app.Work {
+	return app.Work{ServiceRef: s.service, Features: []float64{1}}
+}
+func (s invSampler) FeatureDim() int { return 1 }
+
+func invProfile(service, sla sim.Time, workers int) *app.Profile {
+	return &app.Profile{
+		Name:    "inv",
+		SLA:     sla,
+		Workers: workers,
+		RefFreq: 2.1,
+		Sampler: invSampler{service: service},
+	}
+}
+
+// fixedFreqPolicy pins every core at one frequency.
+type fixedFreqPolicy struct {
+	server.BasePolicy
+	f cpu.Freq
+}
+
+func (p *fixedFreqPolicy) Name() string { return "fixed" }
+func (p *fixedFreqPolicy) OnTick(sim.Time) {
+	for i := 0; i < p.Ctl.NumCores(); i++ {
+		p.Ctl.SetFreq(i, p.f)
+	}
+}
+
+// brokenPolicy emits a non-finite frequency every tick — the degenerate
+// learned policy the guard's invalid-action rung must catch.
+type brokenPolicy struct{ server.BasePolicy }
+
+func (p *brokenPolicy) Name() string { return "broken" }
+func (p *brokenPolicy) OnTick(sim.Time) {
+	for i := 0; i < p.Ctl.NumCores(); i++ {
+		p.Ctl.SetFreq(i, cpu.Freq(math.NaN()))
+	}
+}
+
+// TestRandomizedInvariants is the fuzzing suite of the crash-safety
+// milestone: 100 randomized system configurations, each checked against the
+// invariants that must hold whatever the draw — request conservation,
+// energy monotonicity in frequency, policy-export round-trip identity, and
+// guard safe-mode liveness under a poisoned policy.
+func TestRandomizedInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100 randomized simulations")
+	}
+	const iters = 100
+	for seed := int64(0); seed < iters; seed++ {
+		rng := sim.NewRNG(seed).Stream("invariants")
+		workers := 1 + rng.Intn(4)
+		service := sim.Time(200+rng.Intn(800)) * sim.Microsecond
+		sla := sim.Time(2+rng.Intn(8)) * sim.Millisecond
+		rate := 200 + 400*float64(workers)*rng.Float64()
+		dur := 500 * sim.Millisecond
+		trace := workload.Constant(rate, dur)
+
+		run := func(pol server.Policy) *server.Result {
+			t.Helper()
+			eng := sim.NewEngine()
+			srv, err := server.New(eng, server.Config{App: invProfile(service, sla, workers), Seed: seed}, pol)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			res, err := srv.Run(trace, dur)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			return res
+		}
+
+		// Invariant 1 — request conservation: every request is in exactly
+		// one of queued / in-service / completed, so the cumulative counters
+		// are ordered and in-flight work never exceeds the core count.
+		lo := run(&fixedFreqPolicy{f: 0.8})
+		c := lo.Counters
+		if c.Completions > c.Dispatched || c.Dispatched > c.Arrivals {
+			t.Fatalf("seed %d: counter conservation violated: %+v", seed, c)
+		}
+		if inFlight := c.Dispatched - c.Completions; inFlight > uint64(workers) {
+			t.Fatalf("seed %d: %d requests in service on %d cores", seed, inFlight, workers)
+		}
+		if c.Arrivals == 0 || c.Completions == 0 {
+			t.Fatalf("seed %d: degenerate run %+v", seed, c)
+		}
+
+		// Invariant 2 — energy monotonicity: the same workload run at a
+		// higher fixed frequency must not draw less average power (the
+		// power model is superlinear in f and idle draw is identical).
+		hi := run(&fixedFreqPolicy{f: 2.1})
+		if hi.AvgPowerW < lo.AvgPowerW {
+			t.Fatalf("seed %d: power not monotone in frequency: %.3f W @2.1GHz < %.3f W @0.8GHz",
+				seed, hi.AvgPowerW, lo.AvgPowerW)
+		}
+
+		// Invariant 3 — policy-export round-trip identity: save → load →
+		// save must reproduce the exact bytes.
+		dp, err := agent.New(agent.Config{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		var first bytes.Buffer
+		if err := dp.SavePolicy(&first); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		dp2, err := agent.New(agent.Config{Seed: seed + iters})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := dp2.LoadPolicy(bytes.NewReader(first.Bytes())); err != nil {
+			t.Fatalf("seed %d: exported policy does not load: %v", seed, err)
+		}
+		var second bytes.Buffer
+		if err := dp2.SavePolicy(&second); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("seed %d: policy round trip not identical (%d vs %d bytes)",
+				seed, first.Len(), second.Len())
+		}
+
+		// Invariant 4 — guard safe-mode liveness: a policy emitting NaN
+		// frequencies must drive the guard into safe mode, and the system
+		// must keep serving requests afterwards.
+		guard := fault.NewGuardedPolicy(&brokenPolicy{}, fault.GuardConfig{
+			CheckEvery: 5 * sim.Millisecond,
+			MinSamples: 8,
+		})
+		gres := run(guard)
+		if gres.PolicyStats["guard.invalid_actions"] == 0 {
+			t.Fatalf("seed %d: guard saw no invalid actions from the broken policy", seed)
+		}
+		if gres.PolicyStats["guard.fallbacks"] == 0 {
+			t.Fatalf("seed %d: guard never entered safe mode (stats %v)", seed, gres.PolicyStats)
+		}
+		if gres.Counters.Completions == 0 {
+			t.Fatalf("seed %d: no completions under the guarded broken policy", seed)
+		}
+	}
+}

@@ -68,6 +68,7 @@ func Harnesses() []Harness {
 		{Name: "crossover", Deterministic: true, Run: runCrossoverH},
 		{Name: "colocation", Deterministic: true, Run: runColocationH},
 		{Name: "robustness", Deterministic: true, Run: runRobustnessH},
+		{Name: "policylife", Deterministic: true, Run: runPolicyLifeH},
 	}
 }
 
@@ -273,6 +274,14 @@ func runColocationH(ctx context.Context, scale Scale, workers int) ([]Artifact, 
 		return nil, err
 	}
 	return []Artifact{tableArtifact("colocation_xapian", r.Table())}, nil
+}
+
+func runPolicyLifeH(ctx context.Context, scale Scale, workers int) ([]Artifact, error) {
+	r, err := PolicyLife(ctx, scale, app.Xapian, workers)
+	if err != nil {
+		return nil, err
+	}
+	return []Artifact{tableArtifact("policylife_xapian", r.Table())}, nil
 }
 
 func runRobustnessH(ctx context.Context, scale Scale, workers int) ([]Artifact, error) {

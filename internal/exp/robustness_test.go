@@ -25,16 +25,7 @@ func robustnessScale() Scale {
 // milliseconds late, so per-tick deadline boosting stops working. A policy
 // that simply parks cores at max frequency is barely affected — once a
 // write lands, no further writes are needed.
-func breakingPlan(seed int64) fault.Plan {
-	return fault.Plan{
-		Seed: seed,
-		Actuation: fault.ActuationPlan{
-			ExtraLatency:  10 * sim.Millisecond,
-			JitterLatency: 30 * sim.Millisecond,
-			DropProb:      0.6,
-		},
-	}
-}
+func breakingPlan(seed int64) fault.Plan { return WriteLossPlan(seed) }
 
 // TestGuardRestoresTimeoutBudget is the robustness acceptance criterion:
 // under the breaking scenario, bare DeepPower must violate the paper's

@@ -33,6 +33,18 @@ type GuardConfig struct {
 	// to MaxBackoff (default 16 s).
 	Backoff    sim.Time
 	MaxBackoff sim.Time
+	// Rollback, when non-nil, inserts a rung into the escalation ladder:
+	// on a health breach it is invoked before the guard pins max
+	// frequency, and should restore the inner policy to its last
+	// known-good version (see RegistryRollback), returning whether a
+	// fallback version was engaged. On success the guard stays engaged on
+	// the rolled-back policy; only when the hook fails — or MaxRollbacks
+	// consecutive rollbacks breach again without an intervening healthy
+	// window — does the guard degrade to max-frequency safe mode.
+	Rollback func() bool
+	// MaxRollbacks caps consecutive rollbacks between healthy windows
+	// (default 3).
+	MaxRollbacks int
 }
 
 func (c GuardConfig) withDefaults() GuardConfig {
@@ -60,12 +72,16 @@ func (c GuardConfig) withDefaults() GuardConfig {
 	if c.MaxBackoff <= 0 {
 		c.MaxBackoff = 16 * sim.Second
 	}
+	if c.MaxRollbacks <= 0 {
+		c.MaxRollbacks = 3
+	}
 	return c
 }
 
 // GuardStats counts watchdog interventions.
 type GuardStats struct {
 	InvalidActions uint64 // inner-policy actions rejected or clamped
+	Rollbacks      uint64 // policy rollbacks to a last-good version
 	Fallbacks      uint64 // transitions into safe mode
 	Reengages      uint64 // successful returns to the inner policy
 	SafeTicks      uint64 // ticks spent in safe mode
@@ -98,6 +114,7 @@ type GuardedPolicy struct {
 	nextCheck   sim.Time
 	retryAt     sim.Time
 	invalidBase int
+	rollbacks   int // consecutive rollbacks since the last healthy window
 	completions []guardSample
 
 	stats GuardStats
@@ -109,6 +126,9 @@ type GuardedPolicy struct {
 type GuardTransition struct {
 	At     sim.Time
 	ToSafe bool
+	// RolledBack marks a policy rollback: the guard swapped the inner
+	// policy to its last-good version and stayed engaged (ToSafe=false).
+	RolledBack bool
 	// WindowTimeoutRate and WindowP99 are the health-window readings at
 	// the moment of the transition (fallbacks only; zero on re-engage).
 	WindowTimeoutRate float64
@@ -200,6 +220,7 @@ func (g *GuardedPolicy) OnComplete(r *server.Request, core int) {
 func (g *GuardedPolicy) ResultStats() map[string]float64 {
 	return map[string]float64{
 		"guard.invalid_actions": float64(g.stats.InvalidActions),
+		"guard.rollbacks":       float64(g.stats.Rollbacks),
 		"guard.fallbacks":       float64(g.stats.Fallbacks),
 		"guard.reengages":       float64(g.stats.Reengages),
 		"guard.safe_ticks":      float64(g.stats.SafeTicks),
@@ -262,6 +283,10 @@ func (g *GuardedPolicy) checkHealth(now sim.Time) {
 	}
 	if !g.windowHealthy() || int(g.stats.InvalidActions)-g.invalidAtWindowStart() > g.cfg.MaxInvalid {
 		g.fallback(now)
+	} else if g.rollbacks > 0 && len(g.completions) >= g.cfg.MinSamples {
+		// A rolled-back policy survived a full-sample healthy window; its
+		// rollback budget resets.
+		g.rollbacks = 0
 	}
 }
 
@@ -271,6 +296,20 @@ func (g *GuardedPolicy) invalidAtWindowStart() int { return g.invalidBase }
 
 func (g *GuardedPolicy) fallback(now sim.Time) {
 	rate, p99, _ := g.windowHealth()
+	// Escalation rung 1: swap the inner policy back to its last-good
+	// version and stay engaged. Pinning max frequency (rung 2) burns the
+	// whole power budget; a known-good policy usually restores QoS without
+	// giving up power management.
+	if g.cfg.Rollback != nil && g.rollbacks < g.cfg.MaxRollbacks && g.cfg.Rollback() {
+		g.rollbacks++
+		g.stats.Rollbacks++
+		g.Transitions = append(g.Transitions, GuardTransition{
+			At: now, RolledBack: true, WindowTimeoutRate: rate, WindowP99: p99})
+		g.invalidBase = int(g.stats.InvalidActions)
+		// Judge the rolled-back policy on its own completions.
+		g.completions = g.completions[:0]
+		return
+	}
 	g.safeMode = true
 	g.safeSince = now
 	g.stats.Fallbacks++

@@ -1,0 +1,32 @@
+package fault
+
+import (
+	"bytes"
+	"io"
+
+	"github.com/deeppower/deeppower/internal/ckpt"
+)
+
+// PolicyReloader is any agent whose decision network can be replaced from a
+// saved policy snapshot; every rl trainer implements it via LoadPolicy.
+type PolicyReloader interface {
+	LoadPolicy(io.Reader) error
+}
+
+// RegistryRollback builds a GuardConfig.Rollback hook over a checkpoint
+// registry: each invocation demotes the registry's current policy version
+// and loads the newly current (previous known-good) version into target.
+// It reports false — letting the guard escalate to max-frequency safe mode —
+// when no older version exists or the stored snapshot fails validation.
+func RegistryRollback(reg *ckpt.Registry, target PolicyReloader) func() bool {
+	return func() bool {
+		if _, err := reg.Rollback(); err != nil {
+			return false
+		}
+		_, kind, payload, err := reg.GetCurrent()
+		if err != nil {
+			return false
+		}
+		return target.LoadPolicy(bytes.NewReader(ckpt.Seal(kind, payload))) == nil
+	}
+}

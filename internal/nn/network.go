@@ -2,6 +2,7 @@ package nn
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 )
 
@@ -54,14 +55,23 @@ func (m *MLP) SoftUpdateNet(src Network, tau float64) {
 var _ Network = (*MLP)(nil)
 
 // LoadAny reads a network saved by MLP.Save or TwoHead.Save, detecting the
-// topology from the serialized form.
+// topology from the serialized form. Input that parses as neither yields an
+// error describing both failures; LoadAny never panics.
 func LoadAny(r io.Reader) (Network, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("nn: reading network snapshot: %w", err)
 	}
-	if m, err := Load(bytes.NewReader(data)); err == nil {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("nn: empty network snapshot")
+	}
+	m, mlpErr := Load(bytes.NewReader(data))
+	if mlpErr == nil {
 		return m, nil
 	}
-	return LoadTwoHead(bytes.NewReader(data))
+	t, thErr := LoadTwoHead(bytes.NewReader(data))
+	if thErr == nil {
+		return t, nil
+	}
+	return nil, fmt.Errorf("nn: snapshot is neither topology: as mlp: %v; as two-head: %w", mlpErr, thErr)
 }

@@ -291,7 +291,9 @@ func (t *TwoHead) Save(w io.Writer) error {
 	return json.NewEncoder(w).Encode(s)
 }
 
-// LoadTwoHead reads a network saved by TwoHead.Save.
+// LoadTwoHead reads a network saved by TwoHead.Save. Malformed input —
+// truncated, empty, mis-chained, unknown activations, or non-finite weights —
+// yields a descriptive error; LoadTwoHead never panics.
 func LoadTwoHead(r io.Reader) (*TwoHead, error) {
 	var s twoHeadSnapshot
 	if err := json.NewDecoder(r).Decode(&s); err != nil {
@@ -301,37 +303,32 @@ func LoadTwoHead(r io.Reader) (*TwoHead, error) {
 		return nil, fmt.Errorf("nn: two-head snapshot has no heads")
 	}
 	t := &TwoHead{out: make([]float64, len(s.Heads))}
-	restore := func(ls layerSnapshot) (*Dense, error) {
-		if ls.In <= 0 || ls.Out <= 0 || len(ls.W) != ls.In*ls.Out || len(ls.B) != ls.Out {
-			return nil, fmt.Errorf("nn: malformed layer in two-head snapshot")
-		}
-		return &Dense{
-			In: ls.In, Out: ls.Out, Act: ls.Act, W: ls.W, B: ls.B,
-			GW: make([]float64, len(ls.W)),
-			GB: make([]float64, len(ls.B)),
-			x:  make([]float64, ls.In),
-			y:  make([]float64, ls.Out),
-			dx: make([]float64, ls.In),
-		}, nil
-	}
-	for _, ls := range s.Trunk {
-		l, err := restore(ls)
+	prev := 0
+	for i, ls := range s.Trunk {
+		l, err := restoreLayer(ls, prev)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("nn: trunk layer %d: %w", i, err)
 		}
 		t.Trunk = append(t.Trunk, l)
+		prev = l.Out
 	}
-	for _, hs := range s.Heads {
+	trunkOut := prev
+	for h, hs := range s.Heads {
+		if len(hs) == 0 {
+			return nil, fmt.Errorf("nn: two-head snapshot head %d is empty", h)
+		}
 		var stack []*Dense
-		for _, ls := range hs {
-			l, err := restore(ls)
+		prev = trunkOut
+		for i, ls := range hs {
+			l, err := restoreLayer(ls, prev)
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("nn: head %d layer %d: %w", h, i, err)
 			}
 			stack = append(stack, l)
+			prev = l.Out
 		}
-		if len(stack) == 0 || stack[len(stack)-1].Out != 1 {
-			return nil, fmt.Errorf("nn: two-head snapshot head must end in width 1")
+		if stack[len(stack)-1].Out != 1 {
+			return nil, fmt.Errorf("nn: two-head snapshot head %d must end in width 1", h)
 		}
 		t.Heads = append(t.Heads, stack)
 	}

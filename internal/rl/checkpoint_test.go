@@ -1,0 +1,438 @@
+package rl
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/deeppower/deeppower/internal/ckpt"
+	"github.com/deeppower/deeppower/internal/sim"
+)
+
+// fillReplay populates a pool with synthetic transitions. discrete selects
+// single-index actions (DQN) instead of continuous vectors.
+func fillReplay(rp *Replay, rng *sim.RNG, n, stateDim, actionDim int, discrete bool) {
+	for i := 0; i < n; i++ {
+		tr := Transition{
+			State:     make([]float64, stateDim),
+			NextState: make([]float64, stateDim),
+			Reward:    rng.Normal(0, 1),
+			Done:      rng.Bernoulli(0.05),
+		}
+		for j := range tr.State {
+			tr.State[j] = rng.Float64()
+			tr.NextState[j] = rng.Float64()
+		}
+		if discrete {
+			tr.Action = []float64{float64(rng.Intn(actionDim))}
+		} else {
+			tr.Action = make([]float64, actionDim)
+			for j := range tr.Action {
+				tr.Action[j] = rng.Float64()
+			}
+		}
+		rp.Push(tr)
+	}
+}
+
+// trainerHarness abstracts one trainer kind for the shared resume test: it
+// can train a step from a replay pool, checkpoint itself (with the pool),
+// and compare complete states bitwise via checkpoint bytes.
+type trainerHarness struct {
+	name     string
+	discrete bool
+	make     func(seed int64) any
+	step     func(tr any, rp *Replay, batch []Transition)
+	dump     func(tr any, rp *Replay) []byte
+	load     func(data []byte) (any, *Replay, error)
+	act      func(tr any, state []float64) []float64
+}
+
+func harnesses() []trainerHarness {
+	return []trainerHarness{
+		{
+			name: "ddpg",
+			make: func(seed int64) any {
+				d, err := NewDDPG(DDPGConfig{StateDim: 4, ActionDim: 2, ActorHidden: []int{8, 6}, CriticHidden: [3]int{8, 6, 4}, Seed: seed})
+				if err != nil {
+					panic(err)
+				}
+				return d
+			},
+			step: func(tr any, rp *Replay, batch []Transition) {
+				rp.SampleInto(batch)
+				tr.(*DDPG).Update(batch)
+			},
+			dump: func(tr any, rp *Replay) []byte { return tr.(*DDPG).Checkpoint(rp) },
+			load: func(data []byte) (any, *Replay, error) { return LoadDDPGCheckpoint(data) },
+			act:  func(tr any, state []float64) []float64 { return tr.(*DDPG).Act(state) },
+		},
+		{
+			name: "td3",
+			make: func(seed int64) any {
+				t3, err := NewTD3(TD3Config{StateDim: 4, ActionDim: 2, ActorHidden: []int{8, 6}, CriticHidden: [3]int{8, 6, 4}, Seed: seed})
+				if err != nil {
+					panic(err)
+				}
+				return t3
+			},
+			step: func(tr any, rp *Replay, batch []Transition) {
+				rp.SampleInto(batch)
+				tr.(*TD3).Update(batch)
+			},
+			dump: func(tr any, rp *Replay) []byte { return tr.(*TD3).Checkpoint(rp) },
+			load: func(data []byte) (any, *Replay, error) { return LoadTD3Checkpoint(data) },
+			act:  func(tr any, state []float64) []float64 { return tr.(*TD3).Act(state) },
+		},
+		{
+			name: "sac",
+			make: func(seed int64) any {
+				s, err := NewSAC(SACConfig{StateDim: 4, ActionDim: 2, Hidden: []int{8, 6}, CriticHidden: [3]int{8, 6, 4}, Seed: seed})
+				if err != nil {
+					panic(err)
+				}
+				return s
+			},
+			step: func(tr any, rp *Replay, batch []Transition) {
+				rp.SampleInto(batch)
+				tr.(*SAC).Update(batch)
+			},
+			dump: func(tr any, rp *Replay) []byte { return tr.(*SAC).Checkpoint(rp) },
+			load: func(data []byte) (any, *Replay, error) { return LoadSACCheckpoint(data) },
+			act:  func(tr any, state []float64) []float64 { return tr.(*SAC).Act(state) },
+		},
+		{
+			name:     "dqn",
+			discrete: true,
+			make: func(seed int64) any {
+				d, err := NewDQN(DQNConfig{StateDim: 4, NumActions: 5, Hidden: []int{8, 6}, Double: true, Seed: seed})
+				if err != nil {
+					panic(err)
+				}
+				return d
+			},
+			step: func(tr any, rp *Replay, batch []Transition) {
+				rp.SampleInto(batch)
+				tr.(*DQN).Update(batch)
+			},
+			dump: func(tr any, rp *Replay) []byte { return tr.(*DQN).Checkpoint(rp) },
+			load: func(data []byte) (any, *Replay, error) { return LoadDQNCheckpoint(data) },
+			act: func(tr any, state []float64) []float64 {
+				return []float64{float64(tr.(*DQN).Act(state))}
+			},
+		},
+	}
+}
+
+// TestBitwiseResumeEquivalence is the tentpole acceptance test: for every
+// trainer, "train N steps → checkpoint → reload in fresh state → train M
+// steps" must be bitwise identical to an uninterrupted N+M-step run — every
+// weight, optimizer slot, RNG position, replay slot, and emitted action.
+func TestBitwiseResumeEquivalence(t *testing.T) {
+	const (
+		nSteps    = 25
+		mSteps    = 15
+		batchSize = 8
+		replayCap = 64
+	)
+	for _, h := range harnesses() {
+		t.Run(h.name, func(t *testing.T) {
+			actionDim := 2
+			if h.discrete {
+				actionDim = 5
+			}
+			mkReplay := func() *Replay {
+				rp := NewReplay(replayCap, sim.NewRNG(sim.SubSeed(99, "resume-replay")))
+				fillReplay(rp, sim.NewRNG(sim.SubSeed(99, "resume-env")), replayCap, 4, actionDim, h.discrete)
+				return rp
+			}
+			batch := make([]Transition, batchSize)
+
+			// Uninterrupted N+M run.
+			ref := h.make(99)
+			refRp := mkReplay()
+			for i := 0; i < nSteps+mSteps; i++ {
+				h.step(ref, refRp, batch)
+			}
+
+			// Interrupted run: N steps, checkpoint, reload, M steps.
+			a := h.make(99)
+			aRp := mkReplay()
+			for i := 0; i < nSteps; i++ {
+				h.step(a, aRp, batch)
+			}
+			mid := h.dump(a, aRp)
+			b, bRp, err := h.load(mid)
+			if err != nil {
+				t.Fatalf("loading mid-run checkpoint: %v", err)
+			}
+			if bRp == nil {
+				t.Fatal("checkpoint dropped the replay pool")
+			}
+			for i := 0; i < mSteps; i++ {
+				h.step(b, bRp, batch)
+			}
+
+			// Full-state comparison via checkpoint bytes: covers weights,
+			// optimizer moments, counters, RNG positions, and replay.
+			want := h.dump(ref, refRp)
+			got := h.dump(b, bRp)
+			if !bytes.Equal(want, got) {
+				t.Fatalf("resumed state differs from uninterrupted run (%d vs %d bytes)", len(got), len(want))
+			}
+
+			// And the policy actuates identically.
+			probe := []float64{0.2, 0.4, 0.6, 0.8}
+			wa, ga := h.act(ref, probe), h.act(b, probe)
+			for i := range wa {
+				if wa[i] != ga[i] {
+					t.Fatalf("action[%d]: %v != %v", i, ga[i], wa[i])
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointRejectsCorruption flips kind/truncation/weight corruption on
+// a real trainer checkpoint and checks for typed failures.
+func TestCheckpointRejectsCorruption(t *testing.T) {
+	d, err := NewDDPG(DDPGConfig{StateDim: 3, ActionDim: 2, ActorHidden: []int{6}, CriticHidden: [3]int{6, 4, 3}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := d.Checkpoint(nil)
+	if _, _, err := LoadDDPGCheckpoint(good); err != nil {
+		t.Fatalf("pristine checkpoint rejected: %v", err)
+	}
+
+	t.Run("wrong kind", func(t *testing.T) {
+		if _, _, err := LoadTD3Checkpoint(good); !errors.Is(err, ckpt.ErrKind) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		if _, _, err := LoadDDPGCheckpoint(good[:len(good)-20]); err == nil {
+			t.Fatal("accepted truncated checkpoint")
+		}
+	})
+	t.Run("payload corruption fails crc", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		b[len(b)/2] ^= 0x10
+		if _, _, err := LoadDDPGCheckpoint(b); !errors.Is(err, ckpt.ErrChecksum) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("non-finite weights", func(t *testing.T) {
+		d2, _ := NewDDPG(DDPGConfig{StateDim: 3, ActionDim: 2, ActorHidden: []int{6}, CriticHidden: [3]int{6, 4, 3}, Seed: 1})
+		d2.Actor.Params()[0].W[0] = math.Inf(1)
+		if _, _, err := LoadDDPGCheckpoint(d2.Checkpoint(nil)); !errors.Is(err, ckpt.ErrNonFinite) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("trailing bytes", func(t *testing.T) {
+		payload, err := ckpt.OpenKind(good, ckpt.KindDDPG)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bloated := ckpt.Seal(ckpt.KindDDPG, append(append([]byte(nil), payload...), 0xAA))
+		if _, _, err := LoadDDPGCheckpoint(bloated); !errors.Is(err, ckpt.ErrMalformed) {
+			t.Fatalf("got %v", err)
+		}
+	})
+}
+
+// TestCheckpointEncodeAllocFree proves periodic checkpointing does not
+// re-introduce allocations into the train step: a steady-state Update plus a
+// full encode+seal into reused buffers performs zero heap allocations.
+func TestCheckpointEncodeAllocFree(t *testing.T) {
+	d, err := NewDDPG(DDPGConfig{StateDim: 6, ActionDim: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := NewReplay(128, sim.NewRNG(sim.SubSeed(7, "alloc-replay")))
+	fillReplay(rp, sim.NewRNG(sim.SubSeed(7, "alloc-env")), 128, 6, 2, false)
+	batch := make([]Transition, 16)
+	var enc ckpt.Enc
+	var sealed []byte
+
+	// Warm-up: grow every arena and buffer to steady-state capacity.
+	for i := 0; i < 3; i++ {
+		rp.SampleInto(batch)
+		d.Update(batch)
+		enc.Reset()
+		d.EncodeCheckpoint(&enc, rp)
+		sealed = ckpt.SealInto(sealed[:0], ckpt.KindDDPG, enc.Bytes())
+	}
+
+	allocs := testing.AllocsPerRun(20, func() {
+		rp.SampleInto(batch)
+		d.Update(batch)
+		enc.Reset()
+		d.EncodeCheckpoint(&enc, rp)
+		sealed = ckpt.SealInto(sealed[:0], ckpt.KindDDPG, enc.Bytes())
+	})
+	if allocs != 0 {
+		t.Fatalf("train step + checkpoint encode allocated %.1f times per run", allocs)
+	}
+	if _, _, err := LoadDDPGCheckpoint(sealed); err != nil {
+		t.Fatalf("sealed checkpoint does not load: %v", err)
+	}
+}
+
+// TestCheckpointRoundTripProperty is the randomized identity property: over
+// 100 random seeds (rotating trainer kinds, varying shapes and steps),
+// checkpoint → load → checkpoint must reproduce the exact bytes.
+func TestCheckpointRoundTripProperty(t *testing.T) {
+	hs := harnesses()
+	for seed := int64(0); seed < 100; seed++ {
+		h := hs[int(seed)%len(hs)]
+		rng := sim.NewRNG(sim.SubSeed(seed, "ckpt-prop"))
+		steps := 1 + rng.Intn(6)
+		actionDim := 2
+		if h.discrete {
+			actionDim = 5
+		}
+		tr := h.make(seed)
+		rp := NewReplay(32, sim.NewRNG(sim.SubSeed(seed, "prop-replay")))
+		fillReplay(rp, rng, 32, 4, actionDim, h.discrete)
+		batch := make([]Transition, 4)
+		for i := 0; i < steps; i++ {
+			h.step(tr, rp, batch)
+		}
+		first := h.dump(tr, rp)
+		tr2, rp2, err := h.load(first)
+		if err != nil {
+			t.Fatalf("seed %d (%s): load: %v", seed, h.name, err)
+		}
+		second := h.dump(tr2, rp2)
+		if !bytes.Equal(first, second) {
+			t.Fatalf("seed %d (%s): re-encoded checkpoint differs", seed, h.name)
+		}
+	}
+}
+
+// TestReplayCodecResumesSampling checks the replay pool's RNG round-trips
+// mid-stream: post-restore sample draws match the original exactly.
+func TestReplayCodecResumesSampling(t *testing.T) {
+	rp := NewReplay(16, sim.NewRNG(5))
+	fillReplay(rp, sim.NewRNG(6), 24, 3, 2, false) // overfill to exercise the ring
+	dst := make([]Transition, 8)
+	rp.SampleInto(dst) // advance the sampler RNG mid-stream
+
+	var e ckpt.Enc
+	rp.Encode(&e)
+	rp2, err := DecodeReplay(ckpt.NewDec(e.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp2.Len() != rp.Len() {
+		t.Fatalf("restored length %d != %d", rp2.Len(), rp.Len())
+	}
+	dst2 := make([]Transition, 8)
+	for round := 0; round < 5; round++ {
+		rp.SampleInto(dst)
+		rp2.SampleInto(dst2)
+		for i := range dst {
+			if dst[i].Reward != dst2[i].Reward || dst[i].State[0] != dst2[i].State[0] {
+				t.Fatalf("round %d sample %d diverged", round, i)
+			}
+		}
+	}
+
+	// Corrupt geometry must be rejected.
+	e.Reset()
+	e.Int(0) // cap=0
+	e.Int(0)
+	e.Bool(false)
+	e.I64(1)
+	e.U64(0)
+	e.Int(0)
+	if _, err := DecodeReplay(ckpt.NewDec(e.Bytes())); !errors.Is(err, ckpt.ErrMalformed) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+// TestPolicyExportCompat exercises the compat shim: binary SavePolicy output
+// loads, and so do legacy JSON snapshots written by the old format.
+func TestPolicyExportCompat(t *testing.T) {
+	d, err := NewDDPG(DDPGConfig{StateDim: 4, ActionDim: 2, TwoHeadActor: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bin bytes.Buffer
+	if err := d.SavePolicy(&bin); err != nil {
+		t.Fatal(err)
+	}
+	if k, ok := ckpt.PeekKind(bin.Bytes()); !ok || k != ckpt.KindPolicy {
+		t.Fatalf("SavePolicy did not write a sealed policy container (kind %v ok %v)", k, ok)
+	}
+
+	// Legacy JSON path (what the old SavePolicy wrote).
+	var legacy bytes.Buffer
+	if err := d.Actor.Save(&legacy); err != nil {
+		t.Fatal(err)
+	}
+
+	probe := []float64{0.1, 0.2, 0.3, 0.4}
+	want := d.Act(probe)
+	for _, src := range []*bytes.Buffer{&bin, &legacy} {
+		d2, err := NewDDPG(DDPGConfig{StateDim: 4, ActionDim: 2, TwoHeadActor: true, Seed: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d2.LoadPolicy(bytes.NewReader(src.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+		got := d2.Act(probe)
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("loaded policy action[%d] %v != %v", i, got[i], want[i])
+			}
+		}
+	}
+
+	// SAC and DQN share the exported entry point.
+	s, err := NewSAC(SACConfig{StateDim: 3, ActionDim: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb bytes.Buffer
+	if err := s.SavePolicy(&sb); err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := NewSAC(SACConfig{StateDim: 3, ActionDim: 2, Seed: 9})
+	if err := s2.LoadPolicy(&sb); err != nil {
+		t.Fatal(err)
+	}
+	sp := []float64{0.5, 0.1, 0.9}
+	sw, sg := s.Act(sp), s2.Act(sp)
+	for i := range sw {
+		if sw[i] != sg[i] {
+			t.Fatalf("SAC loaded policy action[%d] %v != %v", i, sg[i], sw[i])
+		}
+	}
+
+	q, err := NewDQN(DQNConfig{StateDim: 3, NumActions: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qb bytes.Buffer
+	if err := q.SavePolicy(&qb); err != nil {
+		t.Fatal(err)
+	}
+	q2, _ := NewDQN(DQNConfig{StateDim: 3, NumActions: 4, Seed: 10})
+	if err := q2.LoadPolicy(&qb); err != nil {
+		t.Fatal(err)
+	}
+	if q.Act(sp) != q2.Act(sp) {
+		t.Fatal("DQN loaded policy disagrees with source")
+	}
+
+	// Garbage must be rejected by every loader.
+	for _, junk := range [][]byte{nil, []byte("DPCKjunk"), []byte("{\"broken\":")} {
+		if err := q2.LoadPolicy(bytes.NewReader(junk)); err == nil {
+			t.Fatalf("DQN loaded junk %q", junk)
+		}
+	}
+}

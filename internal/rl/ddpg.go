@@ -393,13 +393,14 @@ func (d *DDPG) QValue(state, action []float64) float64 {
 // NumParams reports actor parameter count (the paper quotes ~2096, §5.5).
 func (d *DDPG) NumParams() int { return d.Actor.NumParams() }
 
-// SavePolicy writes the trained actor network.
-func (d *DDPG) SavePolicy(w io.Writer) error { return d.Actor.Save(w) }
+// SavePolicy writes the trained actor network as a sealed KindPolicy
+// container (crash-detectable: magic + CRC; see internal/ckpt).
+func (d *DDPG) SavePolicy(w io.Writer) error { return savePolicyNet(w, d.Actor) }
 
 // LoadPolicy replaces the actor (and its target) with a saved network
-// (either topology).
+// (either topology; binary containers and legacy JSON snapshots both load).
 func (d *DDPG) LoadPolicy(r io.Reader) error {
-	m, err := nn.LoadAny(r)
+	m, err := loadPolicyNet(r)
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package rl
 
 import (
 	"fmt"
+	"io"
 
 	"github.com/deeppower/deeppower/internal/nn"
 	"github.com/deeppower/deeppower/internal/sim"
@@ -193,6 +194,31 @@ func (d *DQN) updatePerSample(batch []Transition) (loss float64) {
 
 // NumParams reports the Q-network parameter count.
 func (d *DQN) NumParams() int { return d.Q.NumParams() }
+
+// SavePolicy writes the trained Q-network as a sealed KindPolicy container —
+// the same exported entry point the continuous-action agents provide.
+func (d *DQN) SavePolicy(w io.Writer) error { return savePolicyNet(w, d.Q) }
+
+// LoadPolicy replaces the Q-network (and its target) with a saved network.
+func (d *DQN) LoadPolicy(r io.Reader) error {
+	m, err := loadPolicyNet(r)
+	if err != nil {
+		return err
+	}
+	if m.InDim() != d.cfg.StateDim || m.OutDim() != d.cfg.NumActions {
+		return fmt.Errorf("rl: loaded policy is %d→%d, DQN agent expects %d→%d",
+			m.InDim(), m.OutDim(), d.cfg.StateDim, d.cfg.NumActions)
+	}
+	mlp, ok := m.(*nn.MLP)
+	if !ok {
+		return fmt.Errorf("rl: DQN network must be sequential, got %T", m)
+	}
+	d.Q = mlp
+	d.Target = mlp.Clone()
+	d.opt = nn.NewAdam(d.Q.Layers, d.cfg.LR)
+	d.opt.MaxGradNorm = 5
+	return nil
+}
 
 func argmax(xs []float64) int {
 	best := 0

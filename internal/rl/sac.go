@@ -2,6 +2,7 @@ package rl
 
 import (
 	"fmt"
+	"io"
 	"math"
 
 	"github.com/deeppower/deeppower/internal/nn"
@@ -420,3 +421,29 @@ func (s *SAC) updatePerSample(batch []Transition) (critic1Loss, critic2Loss, act
 
 // NumParams reports the actor parameter count.
 func (s *SAC) NumParams() int { return s.Actor.NumParams() }
+
+// SavePolicy writes the trained actor (the (µ, logσ) head network) as a
+// sealed KindPolicy container — the same exported entry point DDPG and TD3
+// provide.
+func (s *SAC) SavePolicy(w io.Writer) error { return savePolicyNet(w, s.Actor) }
+
+// LoadPolicy replaces the actor with a saved network. The network must be
+// sequential with output width 2·ActionDim (means then log-stds).
+func (s *SAC) LoadPolicy(r io.Reader) error {
+	m, err := loadPolicyNet(r)
+	if err != nil {
+		return err
+	}
+	if m.InDim() != s.cfg.StateDim || m.OutDim() != 2*s.cfg.ActionDim {
+		return fmt.Errorf("rl: loaded policy is %d→%d, SAC agent expects %d→%d",
+			m.InDim(), m.OutDim(), s.cfg.StateDim, 2*s.cfg.ActionDim)
+	}
+	mlp, ok := m.(*nn.MLP)
+	if !ok {
+		return fmt.Errorf("rl: SAC actor must be a sequential network, got %T", m)
+	}
+	s.Actor = mlp
+	s.actorOpt = nn.NewAdam(s.Actor.Layers, s.cfg.LR)
+	s.actorOpt.MaxGradNorm = 5
+	return nil
+}

@@ -293,12 +293,14 @@ func (t *TD3) updatePerSample(batch []Transition) (critic1Loss, critic2Loss, act
 // NumParams reports the actor parameter count.
 func (t *TD3) NumParams() int { return t.Actor.NumParams() }
 
-// SavePolicy writes the trained actor network.
-func (t *TD3) SavePolicy(w io.Writer) error { return t.Actor.Save(w) }
+// SavePolicy writes the trained actor network as a sealed KindPolicy
+// container.
+func (t *TD3) SavePolicy(w io.Writer) error { return savePolicyNet(w, t.Actor) }
 
-// LoadPolicy replaces the actor (and its target) with a saved network.
+// LoadPolicy replaces the actor (and its target) with a saved network
+// (binary containers and legacy JSON snapshots both load).
 func (t *TD3) LoadPolicy(r io.Reader) error {
-	m, err := nn.LoadAny(r)
+	m, err := loadPolicyNet(r)
 	if err != nil {
 		return err
 	}

@@ -43,6 +43,8 @@ func main() {
 		outDir    = flag.String("out", "results", "output directory")
 		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0),
 			"worker count for experiment grids (<= 0 means GOMAXPROCS)")
+		fleetShards = flag.Int("fleet-shards", 0,
+			"override the fleet harness's server count (0 keeps the scale's default)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -82,6 +84,9 @@ func main() {
 		scale = exp.Full()
 	default:
 		log.Fatalf("unknown scale %q (quick|full)", *scaleName)
+	}
+	if *fleetShards > 0 {
+		scale.FleetShards = *fleetShards
 	}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		log.Fatal(err)

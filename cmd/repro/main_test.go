@@ -42,7 +42,7 @@ func TestExperimentRegistryComplete(t *testing.T) {
 		"overhead",
 		// Extensions.
 		"ablation", "generalization", "crossover", "colocation",
-		"robustness", "policylife",
+		"robustness", "policylife", "fleet",
 	}
 	have := map[string]bool{}
 	for _, h := range exp.Harnesses() {

@@ -1,0 +1,197 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"github.com/deeppower/deeppower/internal/sim"
+)
+
+// state is a test shorthand for a healthy shard snapshot.
+func state(id, cores, queue, busy int, eff float64) ShardState {
+	return ShardState{
+		ID: id, Cores: cores, Online: cores,
+		Queue: queue, Busy: busy, Share: 1, EffCost: eff,
+	}
+}
+
+func TestNewBalancer(t *testing.T) {
+	for _, name := range BalancerNames() {
+		b, err := NewBalancer(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if b.Name() != name {
+			t.Errorf("NewBalancer(%q).Name() = %q", name, b.Name())
+		}
+	}
+	if _, err := NewBalancer("nope"); err == nil {
+		t.Error("unknown balancer name did not error")
+	}
+}
+
+// TestBalancerPickTable drives every balancer through the shared edge cases
+// (empty fleet, single shard, saturation, ties) plus per-balancer routing
+// expectations.
+func TestBalancerPickTable(t *testing.T) {
+	saturated := []ShardState{
+		state(0, 2, 10, 2, 8), state(1, 2, 10, 2, 8), state(2, 2, 10, 2, 8),
+	}
+	cases := []struct {
+		name     string
+		balancer string
+		shards   []ShardState
+		pending  []int
+		want     int
+	}{
+		{"empty fleet/rr", RoundRobinName, nil, nil, -1},
+		{"empty fleet/jsq", JSQName, nil, nil, -1},
+		{"empty fleet/power", PowerAwareName, nil, nil, -1},
+
+		{"single shard/rr", RoundRobinName, []ShardState{state(0, 2, 5, 2, 8)}, []int{0}, 0},
+		{"single shard/jsq", JSQName, []ShardState{state(0, 2, 5, 2, 8)}, []int{0}, 0},
+		{"single shard/power", PowerAwareName, []ShardState{state(0, 2, 5, 2, 8)}, []int{0}, 0},
+
+		// All shards equally saturated: deterministic lowest-index tie-break.
+		{"saturated tie/jsq", JSQName, saturated, []int{0, 0, 0}, 0},
+		{"saturated tie/power", PowerAwareName, saturated, []int{0, 0, 0}, 0},
+
+		// JSQ routes to the strictly shortest backlog, counting same-epoch
+		// pending routes.
+		{"jsq shortest", JSQName,
+			[]ShardState{state(0, 2, 4, 2, 8), state(1, 2, 1, 2, 8), state(2, 2, 2, 2, 8)},
+			[]int{0, 0, 0}, 1},
+		{"jsq pending breaks snapshot", JSQName,
+			[]ShardState{state(0, 2, 1, 0, 8), state(1, 2, 2, 0, 8)},
+			[]int{4, 0}, 1},
+
+		// Power-aware prefers the efficient shard at equal load, and an
+		// offline shard only when everything is down.
+		{"power prefers efficient", PowerAwareName,
+			[]ShardState{state(0, 2, 1, 1, 12), state(1, 2, 1, 1, 8)},
+			[]int{0, 0}, 1},
+		{"power load beats efficiency", PowerAwareName,
+			[]ShardState{state(0, 2, 20, 2, 8), state(1, 2, 0, 0, 12)},
+			[]int{0, 0}, 1},
+		{"power avoids offline", PowerAwareName,
+			[]ShardState{
+				{ID: 0, Cores: 2, Online: 0, Share: 1, EffCost: 8},
+				{ID: 1, Cores: 2, Online: 2, Queue: 5, Busy: 2, Share: 1, EffCost: 12},
+			},
+			[]int{0, 0}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b, err := NewBalancer(tc.balancer)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := b.Pick(0, tc.shards, tc.pending); got != tc.want {
+				t.Errorf("Pick = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestRoundRobinFairness is the round-robin contract: after any number of
+// picks, per-shard counts differ by at most one.
+func TestRoundRobinFairness(t *testing.T) {
+	shards := []ShardState{state(0, 2, 0, 0, 8), state(1, 2, 0, 0, 8), state(2, 2, 0, 0, 8)}
+	pending := make([]int, len(shards))
+	b := &RoundRobin{}
+	counts := make([]int, len(shards))
+	for n := 1; n <= 100; n++ {
+		i := b.Pick(0, shards, pending)
+		if i < 0 || i >= len(shards) {
+			t.Fatalf("pick %d: invalid index %d", n, i)
+		}
+		counts[i]++
+		min, max := counts[0], counts[0]
+		for _, c := range counts[1:] {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		if max-min > 1 {
+			t.Fatalf("after %d picks counts diverge: %v", n, counts)
+		}
+	}
+}
+
+// TestPickDeterminism: identical inputs into fresh balancers produce
+// identical pick sequences (the property cluster.Run's serial routing leans
+// on).
+func TestPickDeterminism(t *testing.T) {
+	shards := []ShardState{
+		state(0, 2, 3, 1, 8), state(1, 4, 1, 2, 10), state(2, 1, 0, 1, 12),
+	}
+	for _, name := range BalancerNames() {
+		a, _ := NewBalancer(name)
+		b, _ := NewBalancer(name)
+		pa, pb := make([]int, len(shards)), make([]int, len(shards))
+		for n := 0; n < 50; n++ {
+			ia := a.Pick(sim.Time(n), shards, pa)
+			ib := b.Pick(sim.Time(n), shards, pb)
+			if ia != ib {
+				t.Fatalf("%s: pick %d diverged: %d vs %d", name, n, ia, ib)
+			}
+			pa[ia]++
+			pb[ib]++
+		}
+	}
+}
+
+// TestPowerAwareHostileStates feeds non-finite telemetry straight into the
+// scoring function: picks must stay in range whatever the snapshot claims.
+func TestPowerAwareHostileStates(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := [][]ShardState{
+		{{ID: 0, Cores: 2, Online: 2, EffCost: nan, Share: nan}},
+		{{ID: 0, Cores: 0, Online: 0, EffCost: inf, Share: -1}},
+		{
+			{ID: 0, Cores: 2, Online: 2, Queue: -5, Busy: -1, EffCost: -inf, Share: 0},
+			{ID: 1, Cores: 2, Online: 2, EffCost: inf, Share: inf},
+		},
+	}
+	b := &PowerAware{}
+	for i, shards := range cases {
+		pending := make([]int, len(shards))
+		if got := b.Pick(0, shards, pending); got < 0 || got >= len(shards) {
+			t.Errorf("case %d: Pick = %d out of range [0,%d)", i, got, len(shards))
+		}
+	}
+}
+
+// FuzzPowerAwarePick fuzzes the power-aware scoring function with raw bit
+// patterns (NaNs, infinities, negative counts included): it must never panic
+// and must always return a valid shard index for a non-empty fleet.
+func FuzzPowerAwarePick(f *testing.F) {
+	f.Add(uint8(3), int64(1), uint64(0x3FF0000000000000), uint64(0x4000000000000000), int64(2), int64(1), uint64(0))
+	f.Add(uint8(1), int64(-4), uint64(0x7FF8000000000000), uint64(0xFFF0000000000000), int64(0), int64(-1), uint64(0x7FF0000000000000))
+	f.Add(uint8(8), int64(1000), uint64(0), uint64(0x0010000000000000), int64(-3), int64(64), uint64(0x4030000000000000))
+	f.Fuzz(func(t *testing.T, n uint8, queue int64, effBits, shareBits uint64, cores, online int64, weightBits uint64) {
+		shards := make([]ShardState, int(n%8)+1)
+		pending := make([]int, len(shards))
+		for i := range shards {
+			k := int64(i)
+			shards[i] = ShardState{
+				ID:      i,
+				Cores:   int(cores + k),
+				Online:  int(online - k),
+				Queue:   int(queue * (k + 1)),
+				Busy:    int(queue - k),
+				Share:   math.Float64frombits(shareBits + uint64(i)),
+				EffCost: math.Float64frombits(effBits ^ uint64(i)),
+			}
+			pending[i] = int(queue) >> uint(i%4)
+		}
+		b := &PowerAware{EnergyWeight: math.Float64frombits(weightBits)}
+		got := b.Pick(0, shards, pending)
+		if got < 0 || got >= len(shards) {
+			t.Fatalf("Pick = %d out of range [0,%d)", got, len(shards))
+		}
+	})
+}

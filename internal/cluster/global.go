@@ -1,0 +1,261 @@
+package cluster
+
+import (
+	"math"
+
+	"github.com/deeppower/deeppower/internal/cpu"
+	"github.com/deeppower/deeppower/internal/server"
+	"github.com/deeppower/deeppower/internal/sim"
+)
+
+// GlobalConfig parameterizes the fleet-level controller — the global tier of
+// Liu et al.'s hierarchical framework. Every Every epochs it reassigns
+// per-shard request shares from window telemetry (shedding load off shards
+// breaching the timeout budget, steering the remainder toward efficient
+// machines) and, when PowerBudgetW is set, splits the fleet power budget
+// into per-shard frequency ceilings. The per-shard DVFS decisions below the
+// caps stay with each shard's local agent — the local tier.
+type GlobalConfig struct {
+	// Every is the reassignment cadence in control epochs (default 10).
+	Every int
+	// TimeoutBudget is the per-shard window timeout-rate budget that
+	// triggers load shedding (default 0.01, the paper's Eq. 2 rate).
+	TimeoutBudget float64
+	// PowerBudgetW is the fleet-wide average power budget (0 = uncapped).
+	// Shards drawing more than their load-proportional slice get their
+	// frequency ceiling stepped down one ladder notch; shards comfortably
+	// under it get the ceiling stepped back up.
+	PowerBudgetW float64
+	// Adapt is the share adaptation rate per reassignment in (0, 1]
+	// (default 0.25).
+	Adapt float64
+}
+
+func (c GlobalConfig) withDefaults() GlobalConfig {
+	if c.Every <= 0 {
+		c.Every = 10
+	}
+	if c.TimeoutBudget <= 0 {
+		c.TimeoutBudget = 0.01
+	}
+	if c.Adapt <= 0 || c.Adapt > 1 {
+		c.Adapt = 0.25
+	}
+	return c
+}
+
+// Share bounds: a shard is never starved below minShare of its fair share
+// (it must keep completing requests so its telemetry stays live) and never
+// loaded past maxShare of it.
+const (
+	minShare = 0.05
+	maxShare = 4.0
+)
+
+// globalTier holds the controller's state: current shares, efficiency-
+// preferred share targets, per-shard power floors, and frequency ceilings.
+type globalTier struct {
+	cfg    GlobalConfig
+	share  []float64
+	target []float64
+	floor  []float64  // minimum feasible draw: uncore + all cores idle at Min
+	caps   []cpu.Freq // 0 = uncapped
+}
+
+// newGlobalTier derives the efficiency-preferred share targets: shares
+// proportional to inverse marginal energy (normalized to mean 1), honoring
+// relative core counts. A homogeneous fleet gets uniform targets.
+func newGlobalTier(cfg GlobalConfig, shards []*shard) *globalTier {
+	g := &globalTier{
+		cfg:    cfg.withDefaults(),
+		share:  make([]float64, len(shards)),
+		target: make([]float64, len(shards)),
+		floor:  make([]float64, len(shards)),
+		caps:   make([]cpu.Freq, len(shards)),
+	}
+	sum := 0.0
+	for i, sh := range shards {
+		w := 1.0
+		if sh.effCost > 0 && !math.IsInf(sh.effCost, 0) {
+			w = 1 / sh.effCost
+		}
+		g.target[i] = w
+		g.floor[i] = sh.floorW
+		sum += w
+	}
+	for i := range g.target {
+		if sum > 0 {
+			g.target[i] *= float64(len(shards)) / sum
+		} else {
+			g.target[i] = 1
+		}
+		g.share[i] = 1
+	}
+	return g
+}
+
+// reassign is one global-tier control step over the latest epoch snapshots.
+// It mutates shares toward the efficiency targets, sheds load off breaching
+// shards, renormalizes to mean 1, and (under a power budget) steps the
+// per-shard frequency ceilings. Deterministic: pure arithmetic over the
+// snapshots in shard order.
+func (g *globalTier) reassign(states []ShardState) {
+	a := g.cfg.Adapt
+	for i := range states {
+		if states[i].WindowTimeoutRate > g.cfg.TimeoutBudget {
+			// The shard is breaching: shed load multiplicatively. The local
+			// guard (when configured) handles the latency emergency; the
+			// global tier just stops feeding it.
+			g.share[i] *= 1 - a
+		} else {
+			g.share[i] += a * (g.target[i] - g.share[i])
+		}
+		g.share[i] = math.Min(math.Max(g.share[i], minShare), maxShare)
+	}
+	// Renormalize to mean 1 so shares stay comparable across steps.
+	sum := 0.0
+	for _, s := range g.share {
+		sum += s
+	}
+	if sum > 0 {
+		k := float64(len(g.share)) / sum
+		for i := range g.share {
+			g.share[i] *= k
+		}
+	}
+}
+
+// rebudget enforces the fleet power budget. Each shard's slice is its
+// minimum feasible draw (uncore plus idle cores at the ladder floor — power
+// no frequency cap can remove) plus a share-proportional cut of the
+// remaining discretionary headroom; a purely share-proportional split would
+// hand low-share shards a slice below their idle floor and ratchet them
+// into a permanent frequency-floor tarpit. The ceiling moves one ladder
+// step per reassignment toward compliance — except on shards breaching the
+// timeout budget, which get relief instead (QoS overrides power capping).
+// When the budget cannot even cover the fleet's idle floors, slices degrade
+// to share-proportional.
+func (g *globalTier) rebudget(states []ShardState, shards []*shard) {
+	if g.cfg.PowerBudgetW <= 0 {
+		return
+	}
+	sum, sumFloor := 0.0, 0.0
+	for i, s := range g.share {
+		sum += s
+		sumFloor += g.floor[i]
+	}
+	if sum <= 0 {
+		return
+	}
+	headroom := g.cfg.PowerBudgetW - sumFloor
+	for i := range states {
+		var slice float64
+		if headroom > 0 {
+			slice = g.floor[i] + headroom*g.share[i]/sum
+		} else {
+			slice = g.cfg.PowerBudgetW * g.share[i] / sum
+		}
+		lad := shards[i].ladder
+		switch {
+		case states[i].WindowTimeoutRate > g.cfg.TimeoutBudget:
+			// QoS override: never tighten the ceiling on a shard already
+			// breaching its timeout window. A capped shard cannot burn down
+			// backlog, the backlog keeps its power at the slice, and the
+			// ceiling ratchets to the ladder floor — a death spiral in which
+			// a transient fault becomes a permanent outage. Power capping
+			// yields to the latency emergency, one step of relief per
+			// reassignment; the budget re-engages once the window is healthy.
+			if g.caps[i] != 0 {
+				if next := g.caps[i] + lad.Step; next >= lad.Max {
+					g.caps[i] = 0
+				} else {
+					g.caps[i] = lad.Quantize(next)
+				}
+			}
+		case states[i].PowerW > slice:
+			cur := g.caps[i]
+			if cur == 0 {
+				cur = lad.Max
+			}
+			if next := cur - lad.Step; next >= lad.Min {
+				g.caps[i] = lad.Quantize(next)
+			} else {
+				g.caps[i] = lad.Min
+			}
+		case states[i].PowerW < 0.8*slice && g.caps[i] != 0:
+			next := g.caps[i] + lad.Step
+			if next >= lad.Max {
+				g.caps[i] = 0 // back to uncapped
+			} else {
+				g.caps[i] = lad.Quantize(next)
+			}
+		}
+		shards[i].inj.setCap(g.caps[i])
+	}
+}
+
+// capInjector is the enforcement point for the global tier's power-budget
+// frequency ceilings. It chains an optional inner fault injector (the fault
+// campaign) and clamps both new governor writes and the standing target to
+// the budget cap, reusing the server's existing FreqCap machinery.
+type capInjector struct {
+	inner  server.FaultInjector
+	cap    cpu.Freq // 0 = uncapped; written only between epochs
+	capped uint64
+}
+
+func (ci *capInjector) setCap(c cpu.Freq) { ci.cap = c }
+
+// OnFreqSet implements server.FaultInjector.
+func (ci *capInjector) OnFreqSet(now sim.Time, core int, f cpu.Freq) (cpu.Freq, sim.Time, bool) {
+	var delay sim.Time
+	var drop bool
+	if ci.inner != nil {
+		f, delay, drop = ci.inner.OnFreqSet(now, core, f)
+	}
+	if !drop && ci.cap > 0 && f > ci.cap {
+		f = ci.cap
+		ci.capped++
+	}
+	return f, delay, drop
+}
+
+// FreqCap implements server.FaultInjector: the tighter of the fault
+// campaign's thermal throttle and the global tier's budget cap.
+func (ci *capInjector) FreqCap(now sim.Time, core int) cpu.Freq {
+	c := cpu.Freq(0)
+	if ci.inner != nil {
+		c = ci.inner.FreqCap(now, core)
+	}
+	if ci.cap > 0 && (c == 0 || ci.cap < c) {
+		c = ci.cap
+	}
+	return c
+}
+
+// CoreOffline implements server.FaultInjector.
+func (ci *capInjector) CoreOffline(now sim.Time, core int) bool {
+	return ci.inner != nil && ci.inner.CoreOffline(now, core)
+}
+
+// PerturbSnapshot implements server.FaultInjector.
+func (ci *capInjector) PerturbSnapshot(now sim.Time, snap server.Snapshot) server.Snapshot {
+	if ci.inner != nil {
+		return ci.inner.PerturbSnapshot(now, snap)
+	}
+	return snap
+}
+
+// Stats implements server.FaultInjector: the inner campaign's counters plus
+// the number of governor writes the budget cap clamped.
+func (ci *capInjector) Stats() map[string]uint64 {
+	var out map[string]uint64
+	if ci.inner != nil {
+		out = ci.inner.Stats()
+	}
+	if out == nil {
+		out = map[string]uint64{}
+	}
+	out["cluster.capped_writes"] = ci.capped
+	return out
+}

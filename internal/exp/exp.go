@@ -26,6 +26,8 @@ type Scale struct {
 	TracePeriod sim.Time
 	// Samples bounds sampling-based experiments (Fig. 1, Fig. 2).
 	Samples int
+	// FleetShards is the fleet harness's server count (0 defaults to 4).
+	FleetShards int
 	// Seed drives everything.
 	Seed int64
 }
@@ -38,6 +40,7 @@ func Quick() Scale {
 		EvalDuration:  40 * sim.Second,
 		TracePeriod:   20 * sim.Second,
 		Samples:       20000,
+		FleetShards:   4,
 		Seed:          1,
 	}
 }
@@ -50,6 +53,7 @@ func Full() Scale {
 		EvalDuration:  360 * sim.Second,
 		TracePeriod:   360 * sim.Second,
 		Samples:       200000,
+		FleetShards:   100,
 		Seed:          1,
 	}
 }

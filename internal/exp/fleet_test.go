@@ -1,0 +1,114 @@
+package exp
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/deeppower/deeppower/internal/cluster"
+	"github.com/deeppower/deeppower/internal/sim"
+)
+
+// fleetTestScale is the 100-server fleet at test-friendly durations: the
+// determinism and conservation contracts do not depend on campaign length,
+// so the suite compresses the diurnal period to a few seconds while keeping
+// the full-scale shard count.
+func fleetTestScale() Scale {
+	s := Quick()
+	s.TrainEpisodes = 1
+	s.EvalDuration = 3 * sim.Second
+	s.TracePeriod = 3 * sim.Second
+	s.Samples = 2000
+	s.FleetShards = 100
+	return s
+}
+
+// TestFleetSerialParallelEquivalence is the ISSUE's headline determinism
+// check at full fleet width: a 100-server campaign advanced with one worker
+// must render byte-identical artifacts to the same campaign advanced with
+// eight. (The registry-wide equivalence suite already covers the fleet
+// harness at Quick's 4 shards; this pins the width where epoch batches
+// actually span many pool units.)
+func TestFleetSerialParallelEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two 100-server fleet campaigns")
+	}
+	h, err := HarnessByName("fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := fleetTestScale()
+	serial, err := h.Run(context.Background(), scale, 1)
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	parallel, err := h.Run(context.Background(), scale, 8)
+	if err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+	if len(serial) == 0 || len(serial) != len(parallel) {
+		t.Fatalf("artifact counts: serial %d, parallel %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		s, p := serial[i], parallel[i]
+		if s.Name != p.Name || s.Ext != p.Ext {
+			t.Fatalf("artifact %d identity differs: %s.%s vs %s.%s", i, s.Name, s.Ext, p.Name, p.Ext)
+		}
+		if s.Data != p.Data {
+			t.Errorf("%s.%s differs between workers=1 and workers=8:\n%s",
+				s.Name, s.Ext, firstDiff(s.Data, p.Data))
+		}
+	}
+}
+
+// TestFleetResultShape sanity-checks one tiny fleet run end to end: every
+// balancer campaign and both fault modes present, conservation intact, and
+// the time-series CSV covering each campaign.
+func TestFleetResultShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a policy and runs five fleet campaigns")
+	}
+	scale := fleetTestScale()
+	scale.FleetShards = 6
+	res, err := Fleet(context.Background(), scale, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shards != 6 {
+		t.Errorf("Shards = %d, want 6", res.Shards)
+	}
+	for _, name := range cluster.BalancerNames() {
+		c := res.Campaigns[name]
+		if c == nil {
+			t.Fatalf("missing campaign %q", name)
+		}
+		if c.TotalRouted == 0 || c.Completions == 0 {
+			t.Errorf("%s: degenerate campaign: %s", name, c)
+		}
+		if c.Arrivals != c.Completions+c.InFlight {
+			t.Errorf("%s: conservation violated: %d arrivals vs %d completed + %d in flight",
+				name, c.Arrivals, c.Completions, c.InFlight)
+		}
+		if len(c.Series) == 0 {
+			t.Errorf("%s: empty fleet time series", name)
+		}
+	}
+	for _, mode := range FleetFaultModes {
+		c := res.Fault[mode]
+		if c == nil {
+			t.Fatalf("missing fault mode %q", mode)
+		}
+		if c.TotalRouted == 0 {
+			t.Errorf("fault %s: no requests routed", mode)
+		}
+	}
+	csv := res.CSVSeries()
+	for _, name := range cluster.BalancerNames() {
+		if !strings.Contains(csv, name+",") {
+			t.Errorf("time-series CSV missing campaign %q", name)
+		}
+	}
+	if res.Table().Render() == "" || res.FaultTable().Render() == "" {
+		t.Error("empty table rendering")
+	}
+}

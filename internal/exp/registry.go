@@ -69,6 +69,7 @@ func Harnesses() []Harness {
 		{Name: "colocation", Deterministic: true, Run: runColocationH},
 		{Name: "robustness", Deterministic: true, Run: runRobustnessH},
 		{Name: "policylife", Deterministic: true, Run: runPolicyLifeH},
+		{Name: "fleet", Deterministic: true, Run: runFleetH},
 	}
 }
 
@@ -282,6 +283,18 @@ func runPolicyLifeH(ctx context.Context, scale Scale, workers int) ([]Artifact, 
 		return nil, err
 	}
 	return []Artifact{tableArtifact("policylife_xapian", r.Table())}, nil
+}
+
+func runFleetH(ctx context.Context, scale Scale, workers int) ([]Artifact, error) {
+	r, err := Fleet(ctx, scale, workers)
+	if err != nil {
+		return nil, err
+	}
+	return []Artifact{
+		tableArtifact("fleet_campaign", r.Table()),
+		tableArtifact("fleet_fault", r.FaultTable()),
+		csvArtifact("fleet_timeseries", r.CSVSeries()),
+	}, nil
 }
 
 func runRobustnessH(ctx context.Context, scale Scale, workers int) ([]Artifact, error) {

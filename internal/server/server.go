@@ -133,7 +133,10 @@ type Server struct {
 	// reqFree pools completed Requests for reuse within the episode —
 	// together with the workers' bound completion callbacks they make a
 	// steady-state arrival/dispatch/complete cycle allocation-free.
+	// injectFn is the externally-driven variant (admit without rearming the
+	// internal generator), bound once for the same reason.
 	arrivalFn  func()
+	injectFn   func()
 	reqFree    []*Request
 	sampleInto app.IntoSampler // non-nil when the profile's sampler supports reuse
 
@@ -181,6 +184,7 @@ func New(eng *sim.Engine, cfg Config, policy Policy) (*Server, error) {
 		}
 	}
 	s.arrivalFn = s.onArrival
+	s.injectFn = s.admit
 	s.sampleInto, _ = full.App.Sampler.(app.IntoSampler)
 	if full.SeriesInterval > 0 {
 		s.series = newSeries(full.SeriesInterval)
@@ -235,6 +239,44 @@ func (s *Server) Begin(trace *workload.Trace, duration sim.Time) error {
 	return nil
 }
 
+// BeginExternal arms the simulation for externally injected arrivals: the
+// policy, control-loop tick, and accounting start exactly as in Begin, but
+// no internal arrival generator is armed — every request enters through
+// Inject. This is the cluster mode: a fleet-level load balancer owns the
+// arrival process and each server only executes what is routed to it. The
+// caller drives eng.RunUntil up to the duration and then calls End.
+func (s *Server) BeginExternal(duration sim.Time) error {
+	if duration <= 0 {
+		return fmt.Errorf("server: non-positive duration %v", duration)
+	}
+	start := s.eng.Now()
+	s.runStart = start
+	s.endAt = start + duration
+	for i := range s.powerLast {
+		s.powerLast[i] = start
+	}
+	s.uncoreLast = start
+	s.policy.Init(s)
+	s.cancelTick = s.eng.Every(start+s.cfg.Tick, s.cfg.Tick, s.onTick)
+	return nil
+}
+
+// Inject schedules one request arrival at virtual time at. Only valid after
+// BeginExternal; at must not precede the engine's current time or reach the
+// run's end. Work is sampled from the profile when the arrival fires, from
+// the server's own service RNG, so a server fed the same arrival instants
+// behaves identically however they were produced.
+func (s *Server) Inject(at sim.Time) error {
+	if at < s.eng.Now() {
+		return fmt.Errorf("server: inject at %v before now %v", at, s.eng.Now())
+	}
+	if at >= s.endAt {
+		return fmt.Errorf("server: inject at %v beyond run end %v", at, s.endAt)
+	}
+	s.eng.At(at, s.injectFn)
+	return nil
+}
+
 // End settles accounting at the run's end time, stops the control loop, and
 // builds the result. The engine must have been driven to Begin's duration.
 func (s *Server) End() *Result {
@@ -281,6 +323,14 @@ func (s *Server) putRequest(r *Request) {
 }
 
 func (s *Server) onArrival() {
+	s.admit()
+	s.scheduleNextArrival()
+}
+
+// admit materializes one request arriving now — sample its work, notify the
+// policy, and dispatch or enqueue it. It is the shared tail of the internal
+// arrival generator and the external injection path.
+func (s *Server) admit() {
 	now := s.eng.Now()
 	r := s.getRequest()
 	r.ID = s.nextID
@@ -303,7 +353,6 @@ func (s *Server) onArrival() {
 	} else {
 		s.queue.Push(r)
 	}
-	s.scheduleNextArrival()
 }
 
 func (s *Server) idleWorker() *worker {

@@ -7,12 +7,21 @@ package deeppower
 
 import (
 	"context"
+	"flag"
+	"fmt"
+	"runtime"
 	"testing"
 
 	"github.com/deeppower/deeppower/internal/app"
 	"github.com/deeppower/deeppower/internal/exp"
+	"github.com/deeppower/deeppower/internal/results"
 	"github.com/deeppower/deeppower/internal/sim"
 )
+
+// -update-bench rewrites results/BENCH_vec.json from the measurements of
+// BenchmarkVectorTrainer, via the shared internal/results snapshot writer.
+var updateBench = flag.Bool("update-bench", false,
+	"rewrite results/BENCH_vec.json from this BenchmarkVectorTrainer run")
 
 func benchScale() exp.Scale {
 	s := exp.Quick()
@@ -203,6 +212,92 @@ func BenchmarkOverheadTrainStep(b *testing.B) {
 	b.ReportMetric(r.TrainStepMS, "train-step-ms")
 	b.ReportMetric(r.ActionGenUS, "action-us")
 	b.ReportMetric(float64(r.ActorParams), "actor-params")
+}
+
+// BenchmarkVectorTrainer compares experience throughput — transitions into
+// the replay pool per wall second — of the single-env trainer against the
+// vectorized trainer at E ∈ {4, 8, 16} lockstep environments, training the
+// same quick-scale Xapian configuration for the same episode count. With
+// -update-bench it rewrites results/BENCH_vec.json.
+func BenchmarkVectorTrainer(b *testing.B) {
+	scale := benchScale()
+	var rows []results.Bench
+	derived := map[string]float64{}
+	var singleTPS float64
+
+	runConfig := func(b *testing.B, envs int) {
+		setup, err := exp.NewSetup(app.Xapian, scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var trans uint64
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var dp *DeepPowerPolicy
+			if envs <= 1 {
+				dp, err = setup.TrainDeepPower()
+			} else {
+				dp, err = setup.TrainDeepPowerVector(envs, 0)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			trans = dp.Experience()
+		}
+		b.StopTimer()
+		runtime.ReadMemStats(&m1)
+		tps := float64(trans) * float64(b.N) / b.Elapsed().Seconds()
+		b.ReportMetric(tps, "transitions/sec")
+		b.ReportMetric(float64(trans), "transitions")
+
+		name := "single"
+		if envs > 1 {
+			name = fmt.Sprintf("E%d", envs)
+		}
+		rows = append(rows, results.Bench{
+			Name:    "VectorTrainer/" + name,
+			NsPerOp: float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+			Extra: map[string]float64{
+				"envs":                float64(envs),
+				"transitions":         float64(trans),
+				"transitions_per_sec": tps,
+			},
+			BytesPerOp:  (m1.TotalAlloc - m0.TotalAlloc) / uint64(b.N),
+			AllocsPerOp: (m1.Mallocs - m0.Mallocs) / uint64(b.N),
+		})
+		if envs <= 1 {
+			singleTPS = tps
+		} else if singleTPS > 0 {
+			derived[fmt.Sprintf("speedup_e%d_vs_single", envs)] = tps / singleTPS
+		}
+	}
+
+	for _, envs := range []int{1, 4, 8, 16} {
+		name := "single"
+		if envs > 1 {
+			name = fmt.Sprintf("E%d", envs)
+		}
+		envs := envs
+		b.Run(name, func(b *testing.B) { runConfig(b, envs) })
+	}
+
+	if *updateBench {
+		derived["target_e8_speedup"] = 3.0
+		snap := results.Snapshot{
+			Command: "go test . -run '^$' -bench BenchmarkVectorTrainer -benchtime=1x -update-bench",
+			CPU:     results.CPUModel(),
+			Note: "experience throughput (replay transitions/sec) of vectorized lockstep training " +
+				"vs the single-env trainer, quick-scale xapian, equal episode count",
+			Benchmarks: rows,
+			Derived:    derived,
+		}
+		if err := results.Write("results/BENCH_vec.json", snap); err != nil {
+			b.Fatal(err)
+		}
+		b.Log("wrote results/BENCH_vec.json")
+	}
 }
 
 // BenchmarkSimulatorThroughput measures raw simulator speed: virtual

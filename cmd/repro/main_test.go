@@ -42,7 +42,7 @@ func TestExperimentRegistryComplete(t *testing.T) {
 		"overhead",
 		// Extensions.
 		"ablation", "generalization", "crossover", "colocation",
-		"robustness", "policylife", "fleet",
+		"robustness", "policylife", "fleet", "vectrain",
 	}
 	have := map[string]bool{}
 	for _, h := range exp.Harnesses() {

@@ -41,8 +41,11 @@ func main() {
 	fmt.Printf("%6s %10s %12s %12s %12s %10s\n",
 		"load", "power(W)", "mean", "p99", "max", "timeout%")
 
+	// One session, nine runs: every sweep point reuses the same warm
+	// simulation engine instead of allocating a fresh one.
+	session := deeppower.NewSession()
 	for load := 0.1; load < 0.95; load += 0.1 {
-		res, err := deeppower.Run(deeppower.Config{
+		res, err := session.Run(deeppower.Config{
 			App:         appName,
 			Method:      fmt.Sprintf("fixed:%g", ghz),
 			Duration:    30 * deeppower.Second,

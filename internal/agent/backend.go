@@ -13,6 +13,12 @@ type Backend interface {
 	Act(state []float64) []float64
 	// ActNoisy adds exploration noise (Algorithm 2 line 5).
 	ActNoisy(state []float64, noise rl.Noise) []float64
+	// ActBatch evaluates the deterministic policy for n row-major states
+	// packed in states ([n×StateDim]), returning [n×ActionDim] action rows
+	// that alias the actor's internal buffers — consume them before the
+	// next forward or update call. Row i is bit-identical to Act(state i);
+	// the vectorized trainer batches all environments through one call.
+	ActBatch(states []float64, n int) []float64
 	// Update runs one gradient step and returns (critic, actor) losses.
 	Update(batch []rl.Transition) (criticLoss, actorLoss float64)
 	// SavePolicy and LoadPolicy persist the actor.

@@ -124,6 +124,20 @@ type DeepPower struct {
 	lastState  []float64
 	lastAction []float64
 
+	// external marks this instance as externally driven: OnTick keeps the
+	// thread controller running but never acts inline — the vector trainer
+	// acts at lockstep boundaries instead (see vector.go).
+	external bool
+	// vecSteps counts lockstep boundaries the shared learner has seen; it
+	// plays step's role in the vectorized warmup/learn gating.
+	vecSteps int
+	// pendingState/pendingRew carry the boundary observation between the
+	// observe and act halves of a vector step.
+	pendingState []float64
+	pendingRew   Breakdown
+	// noiseBuf is the reused exploration-noise row for vecActRow.
+	noiseBuf [ActionDim]float64
+
 	// batchBuf is the reused minibatch buffer for replay sampling
 	// (rl.Replay.SampleInto), so the steady-state train loop allocates
 	// nothing per update.
@@ -220,7 +234,7 @@ func (dp *DeepPower) Init(c server.Control) {
 // LongTime. In Flat mode the controller is bypassed and the agent's score
 // applies uniformly (set once at the agent step).
 func (dp *DeepPower) OnTick(now sim.Time) {
-	if now >= dp.nextAct {
+	if !dp.external && now >= dp.nextAct {
 		dp.agentStep(now)
 		dp.nextAct = now + dp.cfg.LongTime
 	}
@@ -237,44 +251,73 @@ func (dp *DeepPower) OnDispatch(r *server.Request, core int) {
 	}
 }
 
-// agentStep is one iteration of Algorithm 2's loop body.
+// agentStep is one iteration of Algorithm 2's loop body: observe and
+// reward, store the completed transition, learn, select, actuate. The
+// vectorized trainer runs the same halves split across a lockstep boundary
+// (vecObserve / vecActRow / vecLearn below).
 func (dp *DeepPower) agentStep(now sim.Time) {
+	state, rew := dp.observeStep()
+	if dp.pushTransition(state, rew) &&
+		dp.step >= dp.cfg.WarmupSteps && dp.replay.Len() >= dp.cfg.BatchSize {
+		dp.learnStep()
+	}
+	dp.EpisodeReturn += rew.Total
+	dp.commitAction(now, state, dp.selectAction(state), rew)
+}
+
+// observeStep computes the boundary state and reward from the control seam
+// (Algorithm 2 lines 3–4).
+func (dp *DeepPower) observeStep() ([]float64, Breakdown) {
 	snap := dp.Ctl.Snapshot()
 	state := dp.observer.Observe(snap)
 	rew := dp.reward.Step(snap.Energy, snap.Counters.Timeouts, snap.QueueLen, dp.cfg.LongTime)
+	return state, rew
+}
 
-	// Store the completed transition and learn. Transitions carrying
-	// non-finite values (possible under faulted telemetry) are dropped
-	// before they can poison the replay pool.
-	if dp.cfg.Train && dp.lastState != nil && finiteVec(state) && isFinite(rew.Total) {
-		dp.replay.Push(rl.Transition{
-			State:     dp.lastState,
-			Action:    dp.lastAction,
-			Reward:    rew.Total,
-			NextState: state,
-		})
-		if dp.step >= dp.cfg.WarmupSteps && dp.replay.Len() >= dp.cfg.BatchSize {
-			if dp.batchBuf == nil {
-				dp.batchBuf = make([]rl.Transition, dp.cfg.BatchSize)
-			}
-			for u := 0; u < dp.cfg.UpdatesPerStep; u++ {
-				dp.replay.SampleInto(dp.batchBuf)
-				dp.CriticLoss, dp.ActorLoss = dp.agent.Update(dp.batchBuf)
-			}
-		}
+// pushTransition stores the completed (s, a, r, s') tuple and reports
+// whether it was stored. Transitions carrying non-finite values (possible
+// under faulted telemetry) are dropped before they can poison the replay
+// pool.
+func (dp *DeepPower) pushTransition(state []float64, rew Breakdown) bool {
+	if !dp.cfg.Train || dp.lastState == nil || !finiteVec(state) || !isFinite(rew.Total) {
+		return false
 	}
-	dp.EpisodeReturn += rew.Total
+	dp.replay.Push(rl.Transition{
+		State:     dp.lastState,
+		Action:    dp.lastAction,
+		Reward:    rew.Total,
+		NextState: state,
+	})
+	return true
+}
 
-	// Select the next action.
-	var action []float64
+// learnStep runs the configured gradient updates from the replay pool.
+func (dp *DeepPower) learnStep() {
+	if dp.batchBuf == nil {
+		dp.batchBuf = make([]rl.Transition, dp.cfg.BatchSize)
+	}
+	for u := 0; u < dp.cfg.UpdatesPerStep; u++ {
+		dp.replay.SampleInto(dp.batchBuf)
+		dp.CriticLoss, dp.ActorLoss = dp.agent.Update(dp.batchBuf)
+	}
+}
+
+// selectAction picks the next action inline (Algorithm 2 line 5).
+func (dp *DeepPower) selectAction(state []float64) []float64 {
 	switch {
 	case dp.cfg.Train && dp.step < dp.cfg.WarmupSteps:
-		action = []float64{dp.rng.Float64(), dp.rng.Float64()} // randomSelect()
+		return []float64{dp.rng.Float64(), dp.rng.Float64()} // randomSelect()
 	case dp.cfg.Train:
-		action = dp.agent.ActNoisy(state, dp.noise)
+		return dp.agent.ActNoisy(state, dp.noise)
 	default:
-		action = dp.agent.Act(state)
+		return dp.agent.Act(state)
 	}
+}
+
+// commitAction actuates a selected action and advances the step bookkeeping
+// — the shared tail of the inline agent step and the vectorized boundary
+// act.
+func (dp *DeepPower) commitAction(now sim.Time, state, action []float64, rew Breakdown) {
 	params := control.Params{BaseFreq: action[0], ScalingCoef: action[1]}
 	dp.tc.SetParams(params)
 	if dp.cfg.Flat {
@@ -289,6 +332,124 @@ func (dp *DeepPower) agentStep(now sim.Time) {
 	dp.lastState = state
 	dp.lastAction = action
 	dp.step++
+}
+
+// --- vectorized acting (VectorPolicy; driven by VectorTrainer) -------------
+
+// vecPeriod implements VectorPolicy.
+func (dp *DeepPower) vecPeriod() sim.Time { return dp.cfg.LongTime }
+
+// vecRowWidth implements VectorPolicy: the actor emits one action per row.
+func (dp *DeepPower) vecRowWidth() int { return ActionDim }
+
+// vecForward implements VectorPolicy: one batched actor call for all envs.
+func (dp *DeepPower) vecForward(states []float64, n int) []float64 {
+	return dp.agent.ActBatch(states, n)
+}
+
+// vecNewShell implements VectorPolicy: a per-env acting shell with its own
+// controller, observer, reward, and RNG substreams (exploration stays
+// env-decoupled, seeded via sim.SubSeed so any worker count draws the same
+// noise), sharing the owner's learner networks and replay pool.
+func (dp *DeepPower) vecNewShell(envIdx int) (vecShell, error) {
+	cfg := dp.cfg
+	cfg.Seed = sim.SubSeed(dp.cfg.Seed, fmt.Sprintf("vec-env/%d", envIdx))
+	cfg.DDPG.Seed = 0 // re-derive the (discarded) shell learner's seed
+	cfg.RecordLog = false
+	shell, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	shell.agent = dp.agent
+	shell.replay = dp.replay
+	shell.external = true
+	return shell, nil
+}
+
+// vecObserve runs the observation half of a lockstep step: state, reward,
+// and the completed transition pushed into the (shared) replay pool. The
+// trainer calls it serially in ascending env order — the deterministic
+// interleave that makes the shared write cursor worker-count independent.
+func (dp *DeepPower) vecObserve(sim.Time) {
+	state, rew := dp.observeStep()
+	dp.pushTransition(state, rew)
+	dp.EpisodeReturn += rew.Total
+	dp.pendingState = state
+	dp.pendingRew = rew
+}
+
+// vecStateInto copies the pending boundary observation into one row of the
+// trainer's gather buffer.
+func (dp *DeepPower) vecStateInto(dst []float64) { copy(dst, dp.pendingState) }
+
+// vecActRow consumes this env's row of the batched actor output: warmup
+// envs draw random actions from their own RNG substream, training envs add
+// their own exploration noise (same numerics and draw order as ActNoisy),
+// and the action actuates immediately — matching the inline path, where the
+// tick that triggered the agent step applies the controller right after.
+func (dp *DeepPower) vecActRow(now sim.Time, row []float64) {
+	state := dp.pendingState
+	var action []float64
+	switch {
+	case dp.cfg.Train && dp.step < dp.cfg.WarmupSteps:
+		action = []float64{dp.rng.Float64(), dp.rng.Float64()} // randomSelect()
+	case dp.cfg.Train:
+		action = append(make([]float64, 0, len(row)), row...)
+		noise := dp.noiseBuf[:len(row)]
+		dp.noise.SampleInto(noise)
+		for i := range action {
+			action[i] += noise[i]
+		}
+		clipAction(action)
+	default:
+		action = append(make([]float64, 0, len(row)), row...)
+	}
+	dp.commitAction(now, state, action, dp.pendingRew)
+	if !dp.cfg.Flat {
+		dp.tc.Apply(now, dp.Ctl)
+	}
+}
+
+// vecLearn implements VectorPolicy: one lockstep boundary's gradient
+// updates from the shared pool — the same UpdatesPerStep cadence as one
+// inline agent step, amortized across all E transitions the boundary
+// contributed.
+func (dp *DeepPower) vecLearn() {
+	dp.vecSteps++
+	if !dp.cfg.Train || dp.vecSteps <= dp.cfg.WarmupSteps || dp.replay.Len() < dp.cfg.BatchSize {
+		return
+	}
+	dp.learnStep()
+}
+
+// Experience reports how many transitions have entered the replay pool —
+// the experience-throughput counter the vector benchmarks rate.
+func (dp *DeepPower) Experience() uint64 { return dp.replay.Pushed() }
+
+// LastCriticLoss implements LossReporter.
+func (dp *DeepPower) LastCriticLoss() float64 { return dp.CriticLoss }
+
+// DivergenceCount implements DivergenceReporter: the backend's cumulative
+// rolled-back updates (zero for backends without a divergence guard).
+func (dp *DeepPower) DivergenceCount() uint64 {
+	if div, ok := dp.agent.(interface{ Divergences() uint64 }); ok {
+		return div.Divergences()
+	}
+	return 0
+}
+
+// clipAction clamps into the actor's [0,1] range — rl's clip semantics
+// (NaN → 0), mirrored here for the vectorized noise path.
+func clipAction(a []float64) {
+	for i, v := range a {
+		if v < 0 {
+			a[i] = 0
+		} else if v > 1 {
+			a[i] = 1
+		} else if math.IsNaN(v) {
+			a[i] = 0
+		}
+	}
 }
 
 func isFinite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }

@@ -92,11 +92,24 @@ type DQNPower struct {
 	lastState  []float64
 	lastAction int
 
+	// external marks this instance as externally driven: OnTick keeps the
+	// thread controller running but never acts inline — the vector trainer
+	// acts at lockstep boundaries instead (see vector.go).
+	external bool
+	// vecSteps counts lockstep boundaries for the vectorized learn gating.
+	vecSteps int
+	// pendingState/pendingRew carry the boundary observation between the
+	// observe and act halves of a vector step.
+	pendingState []float64
+	pendingRew   Breakdown
+
 	// batchBuf is the reused minibatch buffer for replay sampling.
 	batchBuf []rl.Transition
 
 	// EpisodeReturn accumulates reward over the current episode.
 	EpisodeReturn float64
+	// CriticLoss tracks the most recent update's TD loss.
+	CriticLoss float64
 }
 
 // NewDQNPower builds the policy.
@@ -183,8 +196,8 @@ func (dq *DQNPower) Init(c server.Control) {
 
 // OnTick implements server.Policy.
 func (dq *DQNPower) OnTick(now sim.Time) {
-	if now >= dq.nextAct {
-		dq.agentStep(now)
+	if !dq.external && now >= dq.nextAct {
+		dq.agentStep()
 		dq.nextAct = now + dq.cfg.LongTime
 	}
 	dq.tc.Apply(now, dq.Ctl)
@@ -195,48 +208,165 @@ func (dq *DQNPower) OnDispatch(r *server.Request, core int) {
 	dq.tc.OnDispatch(r, core)
 }
 
-func (dq *DQNPower) agentStep(now sim.Time) {
+// agentStep is the value-based analog of DeepPower.agentStep; the same
+// halves run split across a lockstep boundary in vectorized training.
+func (dq *DQNPower) agentStep() {
+	state, rew := dq.observeStep()
+	if dq.pushTransition(state, rew) &&
+		dq.step >= dq.cfg.WarmupSteps && dq.replay.Len() >= dq.cfg.BatchSize {
+		dq.learnStep()
+	}
+	dq.EpisodeReturn += rew.Total
+	dq.commitAction(state, dq.selectAction(state))
+}
+
+// observeStep computes the boundary state and reward.
+func (dq *DQNPower) observeStep() ([]float64, Breakdown) {
 	snap := dq.Ctl.Snapshot()
 	state := dq.observer.Observe(snap)
 	rew := dq.reward.Step(snap.Energy, snap.Counters.Timeouts, snap.QueueLen, dq.cfg.LongTime)
+	return state, rew
+}
 
-	if dq.cfg.Train && dq.lastState != nil {
-		dq.replay.Push(rl.Transition{
-			State:     dq.lastState,
-			Action:    []float64{float64(dq.lastAction)},
-			Reward:    rew.Total,
-			NextState: state,
-		})
-		if dq.step >= dq.cfg.WarmupSteps && dq.replay.Len() >= dq.cfg.BatchSize {
-			if dq.batchBuf == nil {
-				dq.batchBuf = make([]rl.Transition, dq.cfg.BatchSize)
-			}
-			for u := 0; u < dq.cfg.UpdatesPerStep; u++ {
-				dq.replay.SampleInto(dq.batchBuf)
-				dq.agent.Update(dq.batchBuf)
-			}
-		}
+// pushTransition stores the completed transition and reports whether it was
+// stored.
+func (dq *DQNPower) pushTransition(state []float64, rew Breakdown) bool {
+	if !dq.cfg.Train || dq.lastState == nil {
+		return false
 	}
-	dq.EpisodeReturn += rew.Total
+	dq.replay.Push(rl.Transition{
+		State:     dq.lastState,
+		Action:    []float64{float64(dq.lastAction)},
+		Reward:    rew.Total,
+		NextState: state,
+	})
+	return true
+}
 
-	var action int
+// learnStep runs the configured gradient updates from the replay pool.
+func (dq *DQNPower) learnStep() {
+	if dq.batchBuf == nil {
+		dq.batchBuf = make([]rl.Transition, dq.cfg.BatchSize)
+	}
+	for u := 0; u < dq.cfg.UpdatesPerStep; u++ {
+		dq.replay.SampleInto(dq.batchBuf)
+		dq.CriticLoss = dq.agent.Update(dq.batchBuf)
+	}
+}
+
+// selectAction picks the next discrete action inline.
+func (dq *DQNPower) selectAction(state []float64) int {
 	switch {
 	case dq.cfg.Train && dq.step < dq.cfg.WarmupSteps:
-		action = dq.rng.Intn(dq.cfg.GridSize * dq.cfg.GridSize)
+		return dq.rng.Intn(dq.cfg.GridSize * dq.cfg.GridSize)
 	case dq.cfg.Train:
-		action = dq.agent.ActEpsilonGreedy(state, dq.eps)
-		dq.eps *= dq.cfg.EpsDecay
-		if dq.eps < dq.cfg.EpsEnd {
-			dq.eps = dq.cfg.EpsEnd
-		}
+		action := dq.agent.ActEpsilonGreedy(state, dq.eps)
+		dq.decayEps()
+		return action
 	default:
-		action = dq.agent.Act(state)
+		return dq.agent.Act(state)
 	}
+}
+
+func (dq *DQNPower) decayEps() {
+	dq.eps *= dq.cfg.EpsDecay
+	if dq.eps < dq.cfg.EpsEnd {
+		dq.eps = dq.cfg.EpsEnd
+	}
+}
+
+// commitAction actuates a selected action and advances step bookkeeping.
+func (dq *DQNPower) commitAction(state []float64, action int) {
 	dq.tc.SetParams(dq.paramsOf(action))
 	dq.lastState = state
 	dq.lastAction = action
 	dq.step++
 }
+
+// --- vectorized acting (VectorPolicy; driven by VectorTrainer) -------------
+
+// vecPeriod implements VectorPolicy.
+func (dq *DQNPower) vecPeriod() sim.Time { return dq.cfg.LongTime }
+
+// vecRowWidth implements VectorPolicy: one Q-value row per env.
+func (dq *DQNPower) vecRowWidth() int { return dq.cfg.GridSize * dq.cfg.GridSize }
+
+// vecForward implements VectorPolicy: one batched Q evaluation for all envs.
+func (dq *DQNPower) vecForward(states []float64, n int) []float64 {
+	return dq.agent.ActBatch(states, n)
+}
+
+// vecNewShell implements VectorPolicy: a per-env acting shell with its own
+// controller, observer, reward, ε schedule, and RNG substream, sharing the
+// owner's Q-network and replay pool.
+func (dq *DQNPower) vecNewShell(envIdx int) (vecShell, error) {
+	cfg := dq.cfg
+	cfg.Seed = sim.SubSeed(dq.cfg.Seed, fmt.Sprintf("vec-env/%d", envIdx))
+	shell, err := NewDQNPower(cfg)
+	if err != nil {
+		return nil, err
+	}
+	shell.agent = dq.agent
+	shell.replay = dq.replay
+	shell.external = true
+	return shell, nil
+}
+
+// vecObserve runs the observation half of a lockstep step (serial, env
+// ascending — see DeepPower.vecObserve).
+func (dq *DQNPower) vecObserve(sim.Time) {
+	state, rew := dq.observeStep()
+	dq.pushTransition(state, rew)
+	dq.EpisodeReturn += rew.Total
+	dq.pendingState = state
+	dq.pendingRew = rew
+}
+
+// vecStateInto copies the pending boundary observation into one gather row.
+func (dq *DQNPower) vecStateInto(dst []float64) { copy(dst, dq.pendingState) }
+
+// vecActRow consumes this env's batched Q-value row. Unlike the inline
+// path, whose ε draws come from the learner's own RNG, vectorized ε-greedy
+// draws from the shell's substream so environments stay draw-order
+// decoupled whatever the worker count.
+func (dq *DQNPower) vecActRow(now sim.Time, row []float64) {
+	state := dq.pendingState
+	var action int
+	switch {
+	case dq.cfg.Train && dq.step < dq.cfg.WarmupSteps:
+		action = dq.rng.Intn(dq.cfg.GridSize * dq.cfg.GridSize)
+	case dq.cfg.Train:
+		if dq.rng.Float64() < dq.eps {
+			action = dq.rng.Intn(dq.cfg.GridSize * dq.cfg.GridSize)
+		} else {
+			action = rl.Argmax(row)
+		}
+		dq.decayEps()
+	default:
+		action = rl.Argmax(row)
+	}
+	dq.commitAction(state, action)
+	dq.tc.Apply(now, dq.Ctl)
+}
+
+// vecLearn implements VectorPolicy (see DeepPower.vecLearn).
+func (dq *DQNPower) vecLearn() {
+	dq.vecSteps++
+	if !dq.cfg.Train || dq.vecSteps <= dq.cfg.WarmupSteps || dq.replay.Len() < dq.cfg.BatchSize {
+		return
+	}
+	dq.learnStep()
+}
+
+// Experience reports how many transitions have entered the replay pool.
+func (dq *DQNPower) Experience() uint64 { return dq.replay.Pushed() }
+
+// LastCriticLoss implements LossReporter.
+func (dq *DQNPower) LastCriticLoss() float64 { return dq.CriticLoss }
+
+// DivergenceCount implements DivergenceReporter: the DQN learner has no
+// divergence-rollback guard, so the count is always zero.
+func (dq *DQNPower) DivergenceCount() uint64 { return 0 }
 
 // SetTrain toggles training mode.
 func (dq *DQNPower) SetTrain(train bool) { dq.cfg.Train = train }

@@ -39,6 +39,36 @@ type Trainable interface {
 	Return() float64
 }
 
+// LossReporter is a policy that exposes its most recent training loss; the
+// trainers record it into EpisodeStats for any policy that implements it,
+// instead of type-switching on concrete agents.
+type LossReporter interface {
+	LastCriticLoss() float64
+}
+
+// DivergenceReporter is a policy that counts learner updates rolled back by
+// a divergence guard.
+type DivergenceReporter interface {
+	DivergenceCount() uint64
+}
+
+var (
+	_ LossReporter       = (*DeepPower)(nil)
+	_ LossReporter       = (*DQNPower)(nil)
+	_ DivergenceReporter = (*DeepPower)(nil)
+	_ DivergenceReporter = (*DQNPower)(nil)
+)
+
+// reportInto copies optional telemetry from a policy into episode stats.
+func reportInto(st *EpisodeStats, dp Trainable) {
+	if lr, ok := dp.(LossReporter); ok {
+		st.CriticLoss = lr.LastCriticLoss()
+	}
+	if dr, ok := dp.(DivergenceReporter); ok {
+		st.Divergences = dr.DivergenceCount()
+	}
+}
+
 // EpisodeStats summarizes one training episode.
 type EpisodeStats struct {
 	Episode     int
@@ -93,12 +123,7 @@ func Train(dp Trainable, cfg TrainConfig) ([]EpisodeStats, error) {
 			TimeoutRate: res.TimeoutRate,
 			P99Seconds:  res.Latency.P99,
 		}
-		if ddpg, ok := dp.(*DeepPower); ok {
-			st.CriticLoss = ddpg.CriticLoss
-			if div, ok := ddpg.Agent().(interface{ Divergences() uint64 }); ok {
-				st.Divergences = div.Divergences()
-			}
-		}
+		reportInto(&st, dp)
 		stats = append(stats, st)
 		if cfg.OnEpisode != nil {
 			if err := cfg.OnEpisode(ep, st); err != nil {
@@ -113,8 +138,16 @@ func Train(dp Trainable, cfg TrainConfig) ([]EpisodeStats, error) {
 // Evaluate runs the policy (without exploration or learning) once and
 // returns the result.
 func Evaluate(dp Trainable, cfg server.Config, trace *workload.Trace, duration sim.Time) (*server.Result, error) {
+	return EvaluateWith(sim.NewEngine(), dp, cfg, trace, duration)
+}
+
+// EvaluateWith is Evaluate on a caller-provided engine: the engine is Reset
+// first, so repeated evaluations (parameter sweeps, method comparisons, the
+// vectrain harness) recycle one warm event arena instead of growing a fresh
+// engine per call.
+func EvaluateWith(eng *sim.Engine, dp Trainable, cfg server.Config, trace *workload.Trace, duration sim.Time) (*server.Result, error) {
 	dp.SetTrain(false)
-	eng := sim.NewEngine()
+	eng.Reset()
 	srv, err := server.New(eng, cfg, dp)
 	if err != nil {
 		return nil, err

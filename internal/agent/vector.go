@@ -1,0 +1,246 @@
+package agent
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/deeppower/deeppower/internal/pool"
+	"github.com/deeppower/deeppower/internal/server"
+	"github.com/deeppower/deeppower/internal/sim"
+	"github.com/deeppower/deeppower/internal/workload"
+)
+
+// VectorPolicy is a trainable policy that can drive E environments in
+// lockstep through one shared learner: DeepPower and DQNPower both qualify.
+// The unexported methods are the vectorized act protocol (implemented in
+// deeppower.go / dqnpower.go); external packages obtain a VectorPolicy by
+// constructing one of those concrete types.
+type VectorPolicy interface {
+	Trainable
+	// vecPeriod is the control period between lockstep boundaries.
+	vecPeriod() sim.Time
+	// vecRowWidth is one env's slice width in the batched forward output.
+	vecRowWidth() int
+	// vecForward evaluates the policy network for n gathered states in one
+	// batched call; rows alias network-internal buffers and must be consumed
+	// before the next forward or update.
+	vecForward(states []float64, n int) []float64
+	// vecNewShell builds the per-env acting shell for env envIdx.
+	vecNewShell(envIdx int) (vecShell, error)
+	// vecLearn runs one boundary's gradient updates on the shared learner.
+	vecLearn()
+	// Experience counts transitions pushed into the shared replay pool.
+	Experience() uint64
+}
+
+// vecShell is one environment's acting surface: a full policy instance with
+// its own controller, observer, reward tracker, and RNG substreams, sharing
+// the owner's learner networks and replay pool. Its inline act path is
+// disabled; the trainer drives the observe/act halves at each boundary.
+type vecShell interface {
+	Trainable
+	// vecObserve observes, rewards, and pushes the completed transition.
+	vecObserve(now sim.Time)
+	// vecStateInto copies the pending observation into one gather row.
+	vecStateInto(dst []float64)
+	// vecActRow consumes this env's row of the batched forward output.
+	vecActRow(now sim.Time, row []float64)
+}
+
+// TrainVectorConfig drives VectorTrainer.
+type TrainVectorConfig struct {
+	// Envs is the number of environments run in lockstep (default 8).
+	Envs int
+	// Workers bounds the goroutines advancing environments between
+	// boundaries (0 = all cores). Results are byte-identical at any value.
+	Workers int
+	// Episodes is how many trace periods to train for (default 8).
+	Episodes int
+	// EpisodeLen is the virtual duration of one episode (default: one trace
+	// period).
+	EpisodeLen sim.Time
+	// Server configures each environment; env i of episode ep gets seed
+	// SubSeed(Server.Seed, "vec-env/i") + ep·7919, so environments see
+	// decoupled arrival processes that still vary per episode.
+	Server server.Config
+	// Trace is the request-rate trace every environment replays.
+	Trace *workload.Trace
+	// OnEpisode, when non-nil, runs after every episode with its aggregated
+	// stats. A returned error aborts training with the stats so far.
+	OnEpisode func(ep int, st EpisodeStats) error
+}
+
+// VectorTrainer trains one shared policy on E environments advanced in
+// lockstep. Each control period has two phases:
+//
+//   - parallel: every environment's engine runs independently up to the
+//     boundary (Server.RunSegment fanned out over internal/pool). Units
+//     touch only per-env state, so any worker count computes the same thing.
+//   - serial, ascending env index: observe each env and push its transition
+//     into the shared replay (one fixed interleave order), gather all E
+//     observations, evaluate the policy network once for the whole batch
+//     (vecForward), act each env from its row, then run the boundary's
+//     gradient updates (vecLearn).
+//
+// Shared state — learner networks, replay pool, write cursor — is touched
+// only in the serial phase, so training is race-clean and byte-identical
+// across worker counts, while per-step cost amortizes one batched forward
+// and one update schedule over E transitions.
+type VectorTrainer struct {
+	cfg    TrainVectorConfig
+	owner  VectorPolicy
+	shells []vecShell
+	engs   []*sim.Engine
+	srvs   []*server.Server
+	units  []pool.Unit
+	// states is the preallocated [Envs×StateDim] observation gather buffer.
+	states []float64
+	// segEnd is the boundary the current parallel phase runs to; the pool
+	// units close over the trainer and read it (and srvs) per call.
+	segEnd sim.Time
+}
+
+// NewVectorTrainer builds the trainer and its per-env shells. The policy dp
+// becomes the shared learner; it must not be driven by another server while
+// vector training runs.
+func NewVectorTrainer(dp VectorPolicy, cfg TrainVectorConfig) (*VectorTrainer, error) {
+	if cfg.Trace == nil {
+		return nil, fmt.Errorf("agent: TrainVectorConfig.Trace is required")
+	}
+	if cfg.Envs == 0 {
+		cfg.Envs = 8
+	}
+	if cfg.Envs < 0 {
+		return nil, fmt.Errorf("agent: negative env count %d", cfg.Envs)
+	}
+	if cfg.Episodes == 0 {
+		cfg.Episodes = 8
+	}
+	if cfg.Episodes < 0 {
+		return nil, fmt.Errorf("agent: negative episode count %d", cfg.Episodes)
+	}
+	if cfg.EpisodeLen == 0 {
+		cfg.EpisodeLen = cfg.Trace.Period
+	}
+	if dp.vecPeriod() <= 0 {
+		return nil, fmt.Errorf("agent: non-positive control period %v", dp.vecPeriod())
+	}
+	vt := &VectorTrainer{
+		cfg:    cfg,
+		owner:  dp,
+		shells: make([]vecShell, cfg.Envs),
+		engs:   make([]*sim.Engine, cfg.Envs),
+		srvs:   make([]*server.Server, cfg.Envs),
+		units:  make([]pool.Unit, cfg.Envs),
+		states: make([]float64, cfg.Envs*StateDim),
+	}
+	for i := 0; i < cfg.Envs; i++ {
+		shell, err := dp.vecNewShell(i)
+		if err != nil {
+			return nil, fmt.Errorf("agent: env %d shell: %w", i, err)
+		}
+		vt.shells[i] = shell
+		vt.engs[i] = sim.NewEngine()
+		i := i
+		vt.units[i] = func(context.Context) error {
+			vt.srvs[i].RunSegment(vt.segEnd)
+			return nil
+		}
+	}
+	return vt, nil
+}
+
+// Experience reports how many transitions have entered the shared replay
+// pool — the throughput numerator for the vector benchmarks.
+func (vt *VectorTrainer) Experience() uint64 { return vt.owner.Experience() }
+
+// Train runs the vectorized loop for the configured episodes, returning
+// per-episode statistics aggregated across environments.
+func (vt *VectorTrainer) Train(ctx context.Context) ([]EpisodeStats, error) {
+	vt.owner.SetTrain(true)
+	for _, sh := range vt.shells {
+		sh.SetTrain(true)
+	}
+	period := vt.owner.vecPeriod()
+	rowW := vt.owner.vecRowWidth()
+	stats := make([]EpisodeStats, 0, vt.cfg.Episodes)
+	for ep := 0; ep < vt.cfg.Episodes; ep++ {
+		// Arm every environment: engines Reset to recycle their warm event
+		// arenas, fresh servers over them (the request pool is per-server
+		// and re-pools within the episode).
+		for i, sh := range vt.shells {
+			sc := vt.cfg.Server
+			sc.Seed = sim.SubSeed(vt.cfg.Server.Seed, fmt.Sprintf("vec-env/%d", i)) + int64(ep)*7919
+			sc.DiscardLatencies = false
+			vt.engs[i].Reset()
+			srv, err := server.New(vt.engs[i], sc, sh)
+			if err != nil {
+				return stats, err
+			}
+			if err := srv.Begin(vt.cfg.Trace, vt.cfg.EpisodeLen); err != nil {
+				return stats, err
+			}
+			vt.srvs[i] = srv
+		}
+
+		// Lockstep boundaries at 0, period, 2·period, … — at each, the
+		// parallel phase settles every env at the boundary (the control
+		// tick scheduled exactly there fires inside its segment), then the
+		// serial phase observes, acts, and learns in ascending env order.
+		for t := sim.Time(0); t < vt.cfg.EpisodeLen; t += period {
+			if err := ctx.Err(); err != nil {
+				return stats, err
+			}
+			vt.segEnd = t
+			if err := pool.Run(ctx, vt.units, vt.cfg.Workers); err != nil {
+				return stats, err
+			}
+			for _, sh := range vt.shells {
+				sh.vecObserve(t)
+			}
+			for i, sh := range vt.shells {
+				sh.vecStateInto(vt.states[i*StateDim : (i+1)*StateDim])
+			}
+			rows := vt.owner.vecForward(vt.states, vt.cfg.Envs)
+			for i, sh := range vt.shells {
+				sh.vecActRow(t, rows[i*rowW:(i+1)*rowW])
+			}
+			vt.owner.vecLearn()
+		}
+
+		// Drain every env to the episode end and settle results.
+		vt.segEnd = vt.cfg.EpisodeLen
+		if err := pool.Run(ctx, vt.units, vt.cfg.Workers); err != nil {
+			return stats, err
+		}
+		st := EpisodeStats{Episode: ep}
+		var timeouts, completions uint64
+		for i, sh := range vt.shells {
+			res := vt.srvs[i].End()
+			st.Return += sh.Return()
+			st.AvgPowerW += res.AvgPowerW
+			st.P99Seconds += res.Latency.P99
+			timeouts += res.Counters.Timeouts
+			completions += res.Counters.Completions
+		}
+		inv := 1 / float64(vt.cfg.Envs)
+		st.Return *= inv // mean episode return across environments
+		st.AvgPowerW *= inv
+		st.P99Seconds *= inv
+		if completions > 0 {
+			st.TimeoutRate = float64(timeouts) / float64(completions)
+		}
+		reportInto(&st, vt.owner)
+		stats = append(stats, st)
+		if vt.cfg.OnEpisode != nil {
+			if err := vt.cfg.OnEpisode(ep, st); err != nil {
+				return stats, fmt.Errorf("agent: episode %d hook: %w", ep, err)
+			}
+		}
+	}
+	vt.owner.SetTrain(false)
+	for _, sh := range vt.shells {
+		sh.SetTrain(false)
+	}
+	return stats, nil
+}

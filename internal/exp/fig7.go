@@ -160,6 +160,32 @@ func (s *Setup) TrainDeepPower() (*agent.DeepPower, error) {
 	return dp, nil
 }
 
+// TrainDeepPowerVector is TrainDeepPower over envs lockstep environments
+// feeding one shared learner (agent.VectorTrainer): the same episode count,
+// several times the experience throughput, byte-identical at any worker
+// count.
+func (s *Setup) TrainDeepPowerVector(envs, workers int) (*agent.DeepPower, error) {
+	dp, err := agent.New(s.agentConfig())
+	if err != nil {
+		return nil, err
+	}
+	vt, err := agent.NewVectorTrainer(dp, agent.TrainVectorConfig{
+		Envs:       envs,
+		Workers:    workers,
+		Episodes:   s.Scale.TrainEpisodes,
+		EpisodeLen: s.Trace.Period,
+		Server:     s.trainServerConfig(),
+		Trace:      s.Trace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := vt.Train(context.Background()); err != nil {
+		return nil, err
+	}
+	return dp, nil
+}
+
 // trainServerConfig is ServerConfig adjusted for training runs.
 func (s *Setup) trainServerConfig() server.Config {
 	cfg := s.ServerConfig(s.Scale.Seed)
@@ -171,7 +197,14 @@ func (s *Setup) trainServerConfig() server.Config {
 // Evaluate runs one policy over the evaluation window with a seed distinct
 // from training.
 func (s *Setup) Evaluate(pol server.Policy) (*server.Result, error) {
-	eng := sim.NewEngine()
+	return s.EvaluateOn(sim.NewEngine(), pol)
+}
+
+// EvaluateOn is Evaluate on a caller-provided engine, Reset first — back-to-
+// back evaluations (the vectrain harness, repeated sweeps) reuse one warm
+// event arena instead of growing a fresh engine per policy.
+func (s *Setup) EvaluateOn(eng *sim.Engine, pol server.Policy) (*server.Result, error) {
+	eng.Reset()
 	srv, err := server.New(eng, s.ServerConfig(s.Scale.Seed+104729), pol)
 	if err != nil {
 		return nil, err

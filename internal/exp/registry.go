@@ -70,6 +70,7 @@ func Harnesses() []Harness {
 		{Name: "robustness", Deterministic: true, Run: runRobustnessH},
 		{Name: "policylife", Deterministic: true, Run: runPolicyLifeH},
 		{Name: "fleet", Deterministic: true, Run: runFleetH},
+		{Name: "vectrain", Deterministic: false, Run: runVecTrainH},
 	}
 }
 
@@ -295,6 +296,14 @@ func runFleetH(ctx context.Context, scale Scale, workers int) ([]Artifact, error
 		tableArtifact("fleet_fault", r.FaultTable()),
 		csvArtifact("fleet_timeseries", r.CSVSeries()),
 	}, nil
+}
+
+func runVecTrainH(ctx context.Context, scale Scale, workers int) ([]Artifact, error) {
+	r, err := VecTrain(ctx, app.Xapian, scale, workers)
+	if err != nil {
+		return nil, err
+	}
+	return []Artifact{tableArtifact("vectrain_xapian", r.Table())}, nil
 }
 
 func runRobustnessH(ctx context.Context, scale Scale, workers int) ([]Artifact, error) {

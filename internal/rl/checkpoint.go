@@ -149,7 +149,10 @@ func DecodeReplay(dec *ckpt.Dec) (*Replay, error) {
 		cap:  capacity,
 		next: next,
 		full: full,
-		rng:  sim.NewRNGAt(seed, draws),
+		// The write cursor is a telemetry counter (experience throughput),
+		// not training state; restarts resume it from the retained count.
+		pushed: uint64(n),
+		rng:    sim.NewRNGAt(seed, draws),
 	}
 	for i := 0; i < n; i++ {
 		t := Transition{

@@ -220,6 +220,16 @@ func (d *DDPG) ActNoisy(state []float64, noise Noise) []float64 {
 	return clip01(a)
 }
 
+// ActBatch evaluates the deterministic policy for n row-major states packed
+// in states ([n×StateDim]) and returns the [n×ActionDim] action rows. The
+// result aliases the actor's internal forward buffers — consume it before
+// the next Forward/ForwardBatch/Update call. Each row is bit-identical to
+// Act on the corresponding state (ForwardBatch preserves per-sample
+// accumulation order exactly).
+func (d *DDPG) ActBatch(states []float64, n int) []float64 {
+	return d.Actor.ForwardBatch(states, n)
+}
+
 // Update performs one gradient step on a minibatch (Algorithm 2 lines
 // 14–18) and returns the critic and actor losses.
 //

@@ -97,6 +97,18 @@ func (d *DQN) ActEpsilonGreedy(state []float64, eps float64) int {
 	return d.Act(state)
 }
 
+// ActBatch evaluates Q(s,·) for n row-major states and returns the
+// [n×NumActions] value rows (aliasing the network's internal buffers;
+// consume before the next forward or update). Argmax over row i equals
+// Act on state i — the vectorized greedy act path.
+func (d *DQN) ActBatch(states []float64, n int) []float64 {
+	return d.Q.ForwardBatch(states, n)
+}
+
+// Argmax returns the index of a row's maximum element — the greedy action
+// over one Q-value row, with Act's first-max tie-breaking.
+func Argmax(q []float64) int { return argmax(q) }
+
 // QValues returns a copy of Q(s, ·).
 func (d *DQN) QValues(state []float64) []float64 {
 	return append([]float64(nil), d.Q.Forward(state)...)

@@ -10,6 +10,12 @@ import (
 type Noise interface {
 	// Sample returns a noise vector of the given dimension.
 	Sample(dim int) []float64
+	// SampleInto fills dst with one draw of dimension len(dst) without
+	// allocating. It consumes the process's RNG in exactly the same order
+	// as Sample, so the two are interchangeable under a fixed seed — the
+	// property the vectorized act path relies on to stay bit-identical to
+	// the inline one.
+	SampleInto(dst []float64)
 	// Reset restarts the process (relevant for temporally-correlated noise).
 	Reset()
 }
@@ -30,10 +36,15 @@ func NewGaussianNoise(mu, sigma float64, rng *sim.RNG) *GaussianNoise {
 // Sample implements Noise.
 func (g *GaussianNoise) Sample(dim int) []float64 {
 	out := make([]float64, dim)
-	for i := range out {
-		out[i] = g.rng.Normal(g.Mu, g.Sigma)
-	}
+	g.SampleInto(out)
 	return out
+}
+
+// SampleInto implements Noise.
+func (g *GaussianNoise) SampleInto(dst []float64) {
+	for i := range dst {
+		dst[i] = g.rng.Normal(g.Mu, g.Sigma)
+	}
 }
 
 // Reset implements Noise (no state).
@@ -55,26 +66,31 @@ func NewOUNoise(theta, sigma, mu float64, rng *sim.RNG) *OUNoise {
 
 // Sample implements Noise.
 func (o *OUNoise) Sample(dim int) []float64 {
-	if len(o.state) != dim {
-		o.state = make([]float64, dim)
+	out := make([]float64, dim)
+	o.SampleInto(out)
+	return out
+}
+
+// SampleInto implements Noise.
+func (o *OUNoise) SampleInto(dst []float64) {
+	if len(o.state) != len(dst) {
+		o.state = make([]float64, len(dst))
 		for i := range o.state {
 			o.state[i] = o.Mu
 		}
 	}
-	out := make([]float64, dim)
 	for i := range o.state {
 		o.state[i] += o.Theta*(o.Mu-o.state[i]) + o.Sigma*o.rng.NormFloat64()
-		out[i] = o.state[i]
+		dst[i] = o.state[i]
 	}
-	return out
 }
 
 // Reset implements Noise.
 func (o *OUNoise) Reset() { o.state = nil }
 
 // DecayedNoise wraps another process, scaling its samples by a factor that
-// decays geometrically per Sample call — a common trick to anneal
-// exploration as training progresses.
+// decays geometrically per draw — a common trick to anneal exploration as
+// training progresses.
 type DecayedNoise struct {
 	Inner Noise
 	Scale float64
@@ -84,15 +100,21 @@ type DecayedNoise struct {
 
 // Sample implements Noise.
 func (d *DecayedNoise) Sample(dim int) []float64 {
-	out := d.Inner.Sample(dim)
-	for i := range out {
-		out[i] *= d.Scale
+	out := make([]float64, dim)
+	d.SampleInto(out)
+	return out
+}
+
+// SampleInto implements Noise.
+func (d *DecayedNoise) SampleInto(dst []float64) {
+	d.Inner.SampleInto(dst)
+	for i := range dst {
+		dst[i] *= d.Scale
 	}
 	d.Scale *= d.Decay
 	if d.Scale < d.Floor {
 		d.Scale = d.Floor
 	}
-	return out
 }
 
 // Reset implements Noise.

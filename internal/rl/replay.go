@@ -23,11 +23,12 @@ type Transition struct {
 // Replay is the experience replay pool of Fig. 3 (⑥): a fixed-capacity ring
 // from which training samples minibatches uniformly.
 type Replay struct {
-	buf  []Transition
-	cap  int
-	next int
-	full bool
-	rng  *sim.RNG
+	buf    []Transition
+	cap    int
+	next   int
+	full   bool
+	pushed uint64
+	rng    *sim.RNG
 }
 
 // NewReplay returns a pool holding up to capacity transitions.
@@ -40,6 +41,7 @@ func NewReplay(capacity int, rng *sim.RNG) *Replay {
 
 // Push stores a transition, evicting the oldest when full.
 func (rp *Replay) Push(t Transition) {
+	rp.pushed++
 	if len(rp.buf) < rp.cap {
 		rp.buf = append(rp.buf, t)
 		return
@@ -51,6 +53,26 @@ func (rp *Replay) Push(t Transition) {
 
 // Len reports how many transitions are stored.
 func (rp *Replay) Len() int { return len(rp.buf) }
+
+// Pushed reports the pool's write cursor: the total number of transitions
+// ever pushed, including ones since evicted. Shared-pool writers (the
+// vectorized trainer interleaves E environments into one pool) use it as
+// their experience-throughput counter; Pushed() mod cap locates the ring's
+// next eviction slot once the pool is full.
+func (rp *Replay) Pushed() uint64 { return rp.pushed }
+
+// At returns the i-th oldest stored transition (0 = next to be evicted).
+// It exposes the ring in logical age order for tests that pin the shared
+// write-cursor interleave; sampling paths use SampleInto.
+func (rp *Replay) At(i int) Transition {
+	if i < 0 || i >= len(rp.buf) {
+		panic(fmt.Sprintf("rl: replay index %d out of %d", i, len(rp.buf)))
+	}
+	if !rp.full {
+		return rp.buf[i]
+	}
+	return rp.buf[(rp.next+i)%rp.cap]
+}
 
 // SampleInto fills dst with transitions drawn uniformly with replacement,
 // without allocating: trainers reuse one minibatch buffer across updates.

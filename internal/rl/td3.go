@@ -138,6 +138,14 @@ func (t *TD3) ActNoisy(state []float64, noise Noise) []float64 {
 	return clip01(a)
 }
 
+// ActBatch evaluates the deterministic policy for n row-major states and
+// returns the [n×ActionDim] action rows (aliasing the actor's internal
+// buffers; consume before the next forward or update). Rows are
+// bit-identical to per-state Act calls.
+func (t *TD3) ActBatch(states []float64, n int) []float64 {
+	return t.Actor.ForwardBatch(states, n)
+}
+
 // Update performs one TD3 step and returns the critic losses (actor loss is
 // only defined on delayed updates and returned as NaN otherwise).
 //

@@ -277,6 +277,21 @@ func (s *Server) Inject(at sim.Time) error {
 	return nil
 }
 
+// RunSegment drives the engine up to virtual time until (clamped to the
+// run's end) and reports whether the run end was reached. It is the lockstep
+// primitive of the vectorized trainer: Begin once, RunSegment to each control
+// boundary while an external caller observes and acts between segments, End
+// when the final segment reports true. Events scheduled exactly at the
+// boundary — the control tick included — fire inside the segment that ends
+// there, so boundary-time accounting is settled when RunSegment returns.
+func (s *Server) RunSegment(until sim.Time) bool {
+	if until > s.endAt {
+		until = s.endAt
+	}
+	s.eng.RunUntil(until)
+	return until >= s.endAt
+}
+
 // End settles accounting at the run's end time, stops the control loop, and
 // builds the result. The engine must have been driven to Begin's duration.
 func (s *Server) End() *Result {

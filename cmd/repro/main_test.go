@@ -35,14 +35,14 @@ func TestWriterCreatesArtifacts(t *testing.T) {
 }
 
 func TestExperimentRegistryComplete(t *testing.T) {
-	// Every table and figure of the paper must have a harness entry.
+	// Every table and figure of the paper must have a harness entry. The
+	// total entry count is deliberately NOT asserted here — that lives in
+	// exactly one place, exp's TestRegistryShape (registrySize), so adding a
+	// harness means updating one number, not hunting down stale copies.
 	want := []string{
 		"table1", "fig1", "fig2", "table2", "table3",
 		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
 		"overhead",
-		// Extensions.
-		"ablation", "generalization", "crossover", "colocation",
-		"robustness", "policylife", "fleet", "vectrain",
 	}
 	have := map[string]bool{}
 	for _, h := range exp.Harnesses() {
@@ -55,9 +55,6 @@ func TestExperimentRegistryComplete(t *testing.T) {
 		if !have[name] {
 			t.Errorf("missing experiment %q", name)
 		}
-	}
-	if len(have) != len(want) {
-		t.Errorf("registry has %d entries, want %d", len(have), len(want))
 	}
 }
 

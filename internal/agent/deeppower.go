@@ -11,8 +11,13 @@ import (
 	"github.com/deeppower/deeppower/internal/sim"
 )
 
-// ActionDim is the actor's output width: (BaseFreq, ScalingCoef).
+// ActionDim is the paper actor's output width: (BaseFreq, ScalingCoef).
+// With Config.Placement a third component — the placement score — widens
+// the action space (see Config.Placement).
 const ActionDim = 2
+
+// placementActionDim is the widened action width when Placement is on.
+const placementActionDim = 3
 
 // Config parameterizes the DeepPower policy.
 type Config struct {
@@ -52,6 +57,16 @@ type Config struct {
 	// sets one uniform frequency score for every core, once per LongTime.
 	// This is the ablation showing why the hierarchy matters.
 	Flat bool
+	// Classes is the number of heterogeneous core classes the observer
+	// distinguishes: the state vector gains 2 dims per class (busy and
+	// enabled fractions). 0 keeps the paper's 8-dim state. Snapshots from
+	// a homogeneous server leave the extra dims zero.
+	Classes int
+	// Placement widens the action space with a third component that
+	// selects how many threads run on each core class, mapped onto the
+	// server topology's placement ladder. Requires Classes > 0 and uses
+	// the plain MLP actor (the paper's two-head actor is 2-dim only).
+	Placement bool
 	// InitialParams seeds the thread controller before the first action.
 	InitialParams control.Params
 	// RecordLog retains per-step actions and rewards (Fig. 8).
@@ -88,8 +103,12 @@ func (c Config) withDefaults() Config {
 	if c.Backend == "" {
 		c.Backend = BackendDDPG
 	}
-	c.DDPG.StateDim = StateDim
+	c.DDPG.StateDim = StateDim + 2*c.Classes
 	c.DDPG.ActionDim = ActionDim
+	if c.Placement {
+		c.DDPG.ActionDim = placementActionDim
+		c.DDPG.TwoHeadActor = false // the paper's two-head actor is 2-dim only
+	}
 	if c.DDPG.Seed == 0 {
 		c.DDPG.Seed = c.Seed
 	}
@@ -135,8 +154,15 @@ type DeepPower struct {
 	// observe and act halves of a vector step.
 	pendingState []float64
 	pendingRew   Breakdown
-	// noiseBuf is the reused exploration-noise row for vecActRow.
-	noiseBuf [ActionDim]float64
+	// noiseBuf is the reused exploration-noise row for vecActRow, sized
+	// for the widest action space.
+	noiseBuf [placementActionDim]float64
+
+	// placeLevels is the server topology's placement ladder, captured at
+	// Init when Placement is on (nil on homogeneous servers).
+	placeLevels [][]int
+	// classEnergyBuf is the reused per-class energy row for observeStep.
+	classEnergyBuf []float64
 
 	// batchBuf is the reused minibatch buffer for replay sampling
 	// (rl.Replay.SampleInto), so the steady-state train loop allocates
@@ -154,6 +180,12 @@ type DeepPower struct {
 // New builds a DeepPower policy.
 func New(cfg Config) (*DeepPower, error) {
 	full := cfg.withDefaults()
+	if full.Classes < 0 {
+		return nil, fmt.Errorf("agent: negative class count %d", full.Classes)
+	}
+	if full.Placement && full.Classes == 0 {
+		return nil, fmt.Errorf("agent: Placement requires Classes > 0")
+	}
 	var agent Backend
 	switch full.Backend {
 	case BackendDDPG:
@@ -215,8 +247,13 @@ func (dp *DeepPower) Return() float64 { return dp.EpisodeReturn }
 func (dp *DeepPower) Init(c server.Control) {
 	dp.BasePolicy.Init(c)
 	dp.tc.Init(c)
+	if dp.cfg.Placement {
+		if t := c.Topology(); t != nil {
+			dp.placeLevels = t.PlacementLevels()
+		}
+	}
 	if dp.observer == nil {
-		dp.observer = NewObserver(c.SLA())
+		dp.observer = NewObserverClasses(c.SLA(), dp.cfg.Classes)
 	} else {
 		// Keep learned normalization across episodes so training-time and
 		// evaluation-time state representations agree.
@@ -270,7 +307,19 @@ func (dp *DeepPower) agentStep(now sim.Time) {
 func (dp *DeepPower) observeStep() ([]float64, Breakdown) {
 	snap := dp.Ctl.Snapshot()
 	state := dp.observer.Observe(snap)
-	rew := dp.reward.Step(snap.Energy, snap.Counters.Timeouts, snap.QueueLen, dp.cfg.LongTime)
+	var rew Breakdown
+	if dp.cfg.Classes > 0 && len(snap.Classes) > 0 {
+		if cap(dp.classEnergyBuf) < len(snap.Classes) {
+			dp.classEnergyBuf = make([]float64, len(snap.Classes))
+		}
+		buf := dp.classEnergyBuf[:len(snap.Classes)]
+		for i, cs := range snap.Classes {
+			buf[i] = cs.EnergyJ
+		}
+		rew = dp.reward.StepClasses(snap.Energy, buf, snap.Counters.Timeouts, snap.QueueLen, dp.cfg.LongTime)
+	} else {
+		rew = dp.reward.Step(snap.Energy, snap.Counters.Timeouts, snap.QueueLen, dp.cfg.LongTime)
+	}
 	return state, rew
 }
 
@@ -302,11 +351,25 @@ func (dp *DeepPower) learnStep() {
 	}
 }
 
+// actionDim is the actor's effective output width (2, or 3 with Placement).
+func (dp *DeepPower) actionDim() int { return dp.cfg.DDPG.ActionDim }
+
+// randomAction draws a uniform warmup action of the full width —
+// randomSelect() of Algorithm 2 line 7. For the 2-dim paper agent the draw
+// count and order match earlier versions exactly.
+func (dp *DeepPower) randomAction() []float64 {
+	a := make([]float64, dp.actionDim())
+	for i := range a {
+		a[i] = dp.rng.Float64()
+	}
+	return a
+}
+
 // selectAction picks the next action inline (Algorithm 2 line 5).
 func (dp *DeepPower) selectAction(state []float64) []float64 {
 	switch {
 	case dp.cfg.Train && dp.step < dp.cfg.WarmupSteps:
-		return []float64{dp.rng.Float64(), dp.rng.Float64()} // randomSelect()
+		return dp.randomAction()
 	case dp.cfg.Train:
 		return dp.agent.ActNoisy(state, dp.noise)
 	default:
@@ -320,6 +383,9 @@ func (dp *DeepPower) selectAction(state []float64) []float64 {
 func (dp *DeepPower) commitAction(now sim.Time, state, action []float64, rew Breakdown) {
 	params := control.Params{BaseFreq: action[0], ScalingCoef: action[1]}
 	dp.tc.SetParams(params)
+	if dp.cfg.Placement && len(action) > 2 && dp.placeLevels != nil {
+		dp.Ctl.SetPlacement(control.PlacementFromScore(action[2], dp.placeLevels))
+	}
 	if dp.cfg.Flat {
 		for i := 0; i < dp.Ctl.NumCores(); i++ {
 			dp.Ctl.SetScore(i, action[0])
@@ -340,7 +406,7 @@ func (dp *DeepPower) commitAction(now sim.Time, state, action []float64, rew Bre
 func (dp *DeepPower) vecPeriod() sim.Time { return dp.cfg.LongTime }
 
 // vecRowWidth implements VectorPolicy: the actor emits one action per row.
-func (dp *DeepPower) vecRowWidth() int { return ActionDim }
+func (dp *DeepPower) vecRowWidth() int { return dp.actionDim() }
 
 // vecForward implements VectorPolicy: one batched actor call for all envs.
 func (dp *DeepPower) vecForward(states []float64, n int) []float64 {
@@ -392,7 +458,7 @@ func (dp *DeepPower) vecActRow(now sim.Time, row []float64) {
 	var action []float64
 	switch {
 	case dp.cfg.Train && dp.step < dp.cfg.WarmupSteps:
-		action = []float64{dp.rng.Float64(), dp.rng.Float64()} // randomSelect()
+		action = dp.randomAction()
 	case dp.cfg.Train:
 		action = append(make([]float64, 0, len(row)), row...)
 		noise := dp.noiseBuf[:len(row)]

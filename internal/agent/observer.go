@@ -32,8 +32,12 @@ var StateNames = [StateDim]string{
 // Observer converts server snapshots into the paper's 8-dimensional
 // normalized state vector. Each component is divided by a running maximum so
 // the representation stays in [0,1] without application-specific tuning.
+// With classes > 0 the vector gains two components per core class — busy
+// fraction and enabled fraction — so a placement-aware agent sees where its
+// threads sit on a heterogeneous topology.
 type Observer struct {
 	sla          sim.Time
+	classes      int
 	lastArrivals uint64
 	norms        [StateDim]float64
 }
@@ -42,15 +46,28 @@ type Observer struct {
 // The SLA must be positive: every state component is a fraction of it, and
 // a zero SLA would turn the whole state vector into NaNs.
 func NewObserver(sla sim.Time) *Observer {
+	return NewObserverClasses(sla, 0)
+}
+
+// NewObserverClasses returns an observer that additionally emits per-class
+// busy/enabled fractions for classes core classes (0 = the flat 8-dim
+// state). Snapshots from a homogeneous server leave those dims zero.
+func NewObserverClasses(sla sim.Time, classes int) *Observer {
 	if sla <= 0 {
 		panic("agent: NewObserver requires a positive SLA")
 	}
-	o := &Observer{sla: sla}
+	if classes < 0 {
+		panic("agent: negative class count")
+	}
+	o := &Observer{sla: sla, classes: classes}
 	for i := range o.norms {
 		o.norms[i] = 1
 	}
 	return o
 }
+
+// Dim returns the observation vector's length.
+func (o *Observer) Dim() int { return StateDim + 2*o.classes }
 
 // Reset clears inter-step memory (arrival deltas) at episode boundaries,
 // keeping learned normalization.
@@ -93,12 +110,21 @@ func (o *Observer) Raw(snap server.Snapshot) [StateDim]float64 {
 func (o *Observer) Observe(snap server.Snapshot) []float64 {
 	raw := o.Raw(snap)
 	o.lastArrivals = snap.Counters.Arrivals
-	out := make([]float64, StateDim)
+	out := make([]float64, o.Dim())
 	for i, x := range raw {
 		if x > o.norms[i] {
 			o.norms[i] = x
 		}
 		out[i] = x / o.norms[i]
+	}
+	// Per-class busy/enabled fractions are already in [0,1]; no running-max
+	// normalization needed. Missing classes (homogeneous server) stay zero.
+	for c := 0; c < o.classes && c < len(snap.Classes); c++ {
+		cs := snap.Classes[c]
+		if cs.Cores > 0 {
+			out[StateDim+2*c] = float64(cs.Busy) / float64(cs.Cores)
+			out[StateDim+2*c+1] = float64(cs.Enabled) / float64(cs.Cores)
+		}
 	}
 	return out
 }

@@ -23,6 +23,12 @@ type RewardConfig struct {
 	// RefPowerW normalizes R_energy: the energy of one step is divided by
 	// RefPowerW·step so a fully-loaded baseline scores ≈ 1.
 	RefPowerW float64
+	// ClassRefPowerW, when set, makes StepClasses normalize each core
+	// class's energy delta by its own reference power (one entry per
+	// class); R_energy becomes the mean of the per-class terms, so waste
+	// on a low-power efficiency class is not drowned out by the fast
+	// class's scale. Ignored by Step.
+	ClassRefPowerW []float64
 }
 
 // Weights set to a negative value disable the corresponding term (zero
@@ -76,11 +82,12 @@ func ScaleFunc(x, eta float64) float64 {
 
 // Reward computes per-step rewards from interval deltas.
 type Reward struct {
-	cfg          RewardConfig
-	lastEnergy   float64
-	lastTimeouts uint64
-	lastQueueLen int
-	primed       bool
+	cfg             RewardConfig
+	lastEnergy      float64
+	lastClassEnergy []float64
+	lastTimeouts    uint64
+	lastQueueLen    int
+	primed          bool
 }
 
 // NewReward returns a calculator with the given (defaulted) weights.
@@ -144,5 +151,47 @@ func (rw *Reward) Step(energyJ float64, timeouts uint64, queueLen int, step sim.
 	}
 	b.Queue = rw.cfg.Gamma * ScaleFunc(float64(queueLen), rw.cfg.Eta) * growth
 	b.Total = -(b.Energy + b.Timeout + b.Queue)
+	return b
+}
+
+// StepClasses is Step with per-class energy attribution for heterogeneous
+// servers: when ClassRefPowerW matches classEnergy's length, R_energy is the
+// mean of each class's energy delta normalized by that class's reference
+// power. Without class references it degrades to Step's total-energy term.
+// The timeout and queue terms are identical to Step's.
+func (rw *Reward) StepClasses(energyJ float64, classEnergy []float64, timeouts uint64, queueLen int, step sim.Time) Breakdown {
+	refs := rw.cfg.ClassRefPowerW
+	if len(refs) != len(classEnergy) || len(classEnergy) == 0 {
+		return rw.Step(energyJ, timeouts, queueLen, step)
+	}
+	if len(rw.lastClassEnergy) != len(classEnergy) {
+		rw.lastClassEnergy = make([]float64, len(classEnergy))
+	}
+	primed := rw.primed
+	b := rw.Step(energyJ, timeouts, queueLen, step)
+	if primed {
+		sum, n := 0.0, 0
+		for c, e := range classEnergy {
+			dE := e - rw.lastClassEnergy[c]
+			if math.IsNaN(dE) || math.IsInf(dE, 0) || dE < 0 {
+				dE = 0
+			}
+			if denom := refs[c] * step.Seconds(); denom > 0 {
+				sum += dE / denom
+				n++
+			}
+		}
+		if n > 0 {
+			b.Total += b.Energy // retract the total-energy term
+			b.Energy = rw.cfg.Alpha * sum / float64(n)
+			b.Total -= b.Energy
+		}
+	}
+	for c, e := range classEnergy {
+		if math.IsNaN(e) || math.IsInf(e, 0) {
+			e = rw.lastClassEnergy[c]
+		}
+		rw.lastClassEnergy[c] = e
+	}
 	return b
 }

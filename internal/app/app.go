@@ -68,6 +68,11 @@ type Profile struct {
 	ContentionCoef float64
 	// Sampler draws request work.
 	Sampler Sampler
+	// DAG, when non-nil, makes every arrival a stage graph instead of a
+	// single request: stages carry their own samplers and enter the queue
+	// only when their predecessors complete, and the SLA applies to the
+	// job's end-to-end latency. Sampler may be nil when DAG is set.
+	DAG *DAG
 }
 
 // Validate reports an error for malformed profiles.
@@ -85,8 +90,13 @@ func (p *Profile) Validate() error {
 		return fmt.Errorf("app %s: MemFrac %v outside [0,1)", p.Name, p.MemFrac)
 	case p.ContentionCoef < 0:
 		return fmt.Errorf("app %s: negative ContentionCoef", p.Name)
-	case p.Sampler == nil:
+	case p.Sampler == nil && p.DAG == nil:
 		return fmt.Errorf("app %s: nil sampler", p.Name)
+	}
+	if p.DAG != nil {
+		if err := p.DAG.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -112,9 +122,13 @@ func (p *Profile) SpeedAt(f cpu.Freq) float64 {
 	return 1 / (p.MemFrac + (1-p.MemFrac)*float64(p.RefFreq)/float64(f))
 }
 
-// MeanService estimates the population mean of ServiceRef by sampling.
-// It is deterministic for a given seed.
+// MeanService estimates the population mean of ServiceRef by sampling. For
+// DAG profiles without a flat sampler it is the mean total work of one job
+// (summed over stages). It is deterministic for a given seed.
 func (p *Profile) MeanService(seed int64, n int) sim.Time {
+	if p.Sampler == nil && p.DAG != nil {
+		return p.DAG.MeanTotalService(seed, n)
+	}
 	r := sim.NewRNG(seed).Stream("mean-service-" + p.Name)
 	var sum float64
 	for i := 0; i < n; i++ {

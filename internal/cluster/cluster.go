@@ -194,14 +194,30 @@ func Run(ctx context.Context, cfg Config, shardCfgs []ShardConfig, workers int) 
 		if err := srv.BeginExternal(full.Duration); err != nil {
 			return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
 		}
+		effCost := pm.CorePower(lad.Max, true)
+		floorW := pm.Uncore + float64(srv.NumCores())*pm.CorePower(lad.Min, false)
+		if t := scfg.Topology; t != nil {
+			// Heterogeneous shard: the efficiency cost is the per-core mean
+			// of each class's ladder-max draw, and the floor sums each
+			// class's idle draw at its own ladder minimum — so the global
+			// tier's power-aware weighting sees hybrid machines as cheaper
+			// per core than their fast-only peers.
+			var maxW, minW float64
+			for _, c := range t.Classes {
+				maxW += float64(c.Count) * pm.CorePowerScaled(c.Ladder.Max, true, c.DynFactor(), c.LeakFactor())
+				minW += float64(c.Count) * pm.CorePowerScaled(c.Ladder.Min, false, c.DynFactor(), c.LeakFactor())
+			}
+			effCost = maxW / float64(t.TotalCores())
+			floorW = pm.Uncore + minW
+		}
 		shards[i] = &shard{
 			id:      i,
 			eng:     eng,
 			srv:     srv,
 			inj:     inj,
 			ladder:  lad,
-			effCost: pm.CorePower(lad.Max, true),
-			floorW:  pm.Uncore + float64(srv.NumCores())*pm.CorePower(lad.Min, false),
+			effCost: effCost,
+			floorW:  floorW,
 		}
 		shards[i].state = ShardState{
 			ID:      i,

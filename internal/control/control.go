@@ -112,6 +112,12 @@ func (tc *ThreadController) Apply(now sim.Time, c server.Control) {
 	for i := 0; i < c.NumCores(); i++ {
 		r := c.CoreRequest(i)
 		if r == nil {
+			if c.CoreParked(i) {
+				// Placement disabled the core: hold it at its ladder
+				// floor until it is re-enabled.
+				c.SetScore(i, 0)
+				continue
+			}
 			// No request processing: hold the core at BaseFreq (§4.2,
 			// Fig. 4 caption).
 			c.SetScore(i, p.BaseFreq)

@@ -1,0 +1,27 @@
+package control
+
+import "math"
+
+// PlacementFromScore maps the actor's placement output x ∈ [0,1] onto a
+// topology's placement ladder (cpu.Topology.PlacementLevels): 0 selects the
+// efficiency-heavy end, 1 the performance-class-only end. Hostile inputs —
+// NaN, ±Inf, out-of-range values from a diverged actor or faulted telemetry
+// — clamp to the nearest valid level instead of panicking or returning an
+// invalid vector. The returned slice is owned by levels; callers must not
+// mutate it.
+func PlacementFromScore(x float64, levels [][]int) []int {
+	if len(levels) == 0 {
+		return nil
+	}
+	if math.IsNaN(x) || x <= 0 {
+		return levels[0]
+	}
+	if x >= 1 {
+		return levels[len(levels)-1]
+	}
+	idx := int(x * float64(len(levels)))
+	if idx >= len(levels) {
+		idx = len(levels) - 1
+	}
+	return levels[idx]
+}

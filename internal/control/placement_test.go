@@ -1,0 +1,72 @@
+package control
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/deeppower/deeppower/internal/cpu"
+)
+
+// TestPlacementFromScoreHostile drives the action scaler with the degenerate
+// outputs a diverged actor or faulted telemetry can produce: NaN, ±Inf, and
+// out-of-range scores must clamp to a valid ladder level, never panic or
+// return an invalid vector.
+func TestPlacementFromScoreHostile(t *testing.T) {
+	topo := cpu.DefaultHetero(2, 2)
+	levels := topo.PlacementLevels()
+	first, last := levels[0], levels[len(levels)-1]
+	cases := []struct {
+		name string
+		x    float64
+		want []int
+	}{
+		{"nan", math.NaN(), first},
+		{"neg inf", math.Inf(-1), first},
+		{"pos inf", math.Inf(1), last},
+		{"below range", -0.5, first},
+		{"above range", 1.5, last},
+		{"zero", 0, first},
+		{"one", 1, last},
+		{"just under one", math.Nextafter(1, 0), last},
+		{"smallest positive", math.SmallestNonzeroFloat64, first},
+	}
+	for _, tc := range cases {
+		if got := PlacementFromScore(tc.x, levels); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s: PlacementFromScore(%v) = %v, want %v", tc.name, tc.x, got, tc.want)
+		}
+	}
+	if got := PlacementFromScore(0.5, nil); got != nil {
+		t.Errorf("empty levels: got %v, want nil", got)
+	}
+}
+
+// TestPlacementFromScoreMonotone sweeps the unit interval: every score maps
+// onto some ladder level and the selected index never decreases as the score
+// rises — the contract that makes the placement action a performance knob.
+func TestPlacementFromScoreMonotone(t *testing.T) {
+	topo := cpu.DefaultHetero(3, 2)
+	levels := topo.PlacementLevels()
+	lastIdx := -1
+	for i := 0; i <= 1000; i++ {
+		x := float64(i) / 1000
+		got := PlacementFromScore(x, levels)
+		idx := -1
+		for j := range levels {
+			if &levels[j][0] == &got[0] {
+				idx = j
+				break
+			}
+		}
+		if idx < 0 {
+			t.Fatalf("score %v returned a vector outside the ladder: %v", x, got)
+		}
+		if idx < lastIdx {
+			t.Fatalf("score %v selected level %d after level %d", x, idx, lastIdx)
+		}
+		lastIdx = idx
+	}
+	if lastIdx != len(levels)-1 {
+		t.Fatalf("sweep never reached the top level (%d of %d)", lastIdx, len(levels)-1)
+	}
+}

@@ -1,0 +1,172 @@
+package cpu
+
+import (
+	"fmt"
+
+	"github.com/deeppower/deeppower/internal/sim"
+)
+
+// Class is one heterogeneous core class: a group of identical cores sharing
+// a frequency ladder, a per-cycle speed factor, and power-curve scaling.
+// It models big.LITTLE-style fast/efficient core pairings: efficient cores
+// run a lower ladder, retire work slower per GHz, and burn a fraction of the
+// fast cores' dynamic and leakage power.
+type Class struct {
+	// Name labels the class in reports ("fast", "efficient").
+	Name string
+	// Count is how many cores the class contributes.
+	Count int
+	// Ladder is the class's DVFS ladder.
+	Ladder Ladder
+	// Speed is the instruction-throughput multiplier relative to the
+	// profile's reference core (0 means 1: same work per cycle).
+	Speed float64
+	// DynScale multiplies the power model's dynamic coefficient for this
+	// class (0 means 1). Narrower, shallower cores burn less per cycle.
+	DynScale float64
+	// LeakScale multiplies static leakage (0 means 1).
+	LeakScale float64
+}
+
+// speed/dynScale/leakScale return the effective factors with zero meaning 1,
+// so the zero value of an unscaled class behaves like a reference core.
+
+// SpeedFactor returns the effective throughput multiplier.
+func (c Class) SpeedFactor() float64 {
+	if c.Speed == 0 {
+		return 1
+	}
+	return c.Speed
+}
+
+// DynFactor returns the effective dynamic-power multiplier.
+func (c Class) DynFactor() float64 {
+	if c.DynScale == 0 {
+		return 1
+	}
+	return c.DynScale
+}
+
+// LeakFactor returns the effective leakage multiplier.
+func (c Class) LeakFactor() float64 {
+	if c.LeakScale == 0 {
+		return 1
+	}
+	return c.LeakScale
+}
+
+// Topology is a heterogeneous core layout: an ordered list of classes whose
+// cores are laid out contiguously (class 0 first). Class order is
+// significant — placement ladders treat class 0 as the performance class.
+type Topology struct {
+	Classes []Class
+}
+
+// Validate reports an error for malformed topologies.
+func (t *Topology) Validate() error {
+	if len(t.Classes) == 0 {
+		return fmt.Errorf("cpu: topology has no classes")
+	}
+	for i, c := range t.Classes {
+		if c.Count <= 0 {
+			return fmt.Errorf("cpu: class %d (%s) has non-positive count %d", i, c.Name, c.Count)
+		}
+		if err := c.Ladder.Validate(); err != nil {
+			return fmt.Errorf("cpu: class %d (%s): %w", i, c.Name, err)
+		}
+		if c.Speed < 0 || c.DynScale < 0 || c.LeakScale < 0 {
+			return fmt.Errorf("cpu: class %d (%s) has negative scale factors", i, c.Name)
+		}
+	}
+	return nil
+}
+
+// TotalCores returns the number of cores across all classes.
+func (t *Topology) TotalCores() int {
+	n := 0
+	for _, c := range t.Classes {
+		n += c.Count
+	}
+	return n
+}
+
+// ClassOf maps a core index onto its class index (cores are contiguous by
+// class). It panics on out-of-range cores.
+func (t *Topology) ClassOf(core int) int {
+	rest := core
+	for i, c := range t.Classes {
+		if rest < c.Count {
+			return i
+		}
+		rest -= c.Count
+	}
+	panic(fmt.Sprintf("cpu: core %d outside topology of %d cores", core, t.TotalCores()))
+}
+
+// PlacementLevels enumerates the topology's placement ladder: a monotone
+// performance sweep of per-class enabled-thread vectors, from
+// "efficiency classes only" to "performance class only". The sweep first
+// enables class 0 cores one at a time (all other classes fully enabled),
+// then disables the other classes' cores one at a time from the last class
+// backwards. Every level keeps at least one thread enabled; each returned
+// vector sums to its level's active thread count with no negative entries.
+func (t *Topology) PlacementLevels() [][]int {
+	k := len(t.Classes)
+	cur := make([]int, k)
+	for i := 1; i < k; i++ {
+		cur[i] = t.Classes[i].Count
+	}
+	var levels [][]int
+	push := func() {
+		total := 0
+		for _, n := range cur {
+			total += n
+		}
+		if total == 0 {
+			return // a single-class topology's "no class-0 cores" start
+		}
+		levels = append(levels, append([]int(nil), cur...))
+	}
+	push()
+	for cur[0] < t.Classes[0].Count {
+		cur[0]++
+		push()
+	}
+	for c := k - 1; c >= 1; c-- {
+		for cur[c] > 0 {
+			cur[c]--
+			push()
+		}
+	}
+	return levels
+}
+
+// EfficientLadder returns the ladder of the default efficiency class:
+// 0.6–1.6 GHz in 0.1 GHz steps with no turbo headroom, matching the lower
+// voltage/frequency envelope of little cores.
+func EfficientLadder() Ladder {
+	return Ladder{
+		Min:               0.6,
+		Max:               1.6,
+		Step:              0.1,
+		Turbo:             1.6,
+		TransitionLatency: 10 * sim.Microsecond,
+	}
+}
+
+// DefaultHetero returns a two-class topology: fast cores on the default
+// Xeon-like ladder, and efficiency cores that run a lower ladder at 70% of
+// the throughput per GHz for roughly a third of the dynamic power.
+func DefaultHetero(fast, efficient int) Topology {
+	return Topology{Classes: []Class{
+		{Name: "fast", Count: fast, Ladder: DefaultLadder()},
+		{
+			Name:      "efficient",
+			Count:     efficient,
+			Ladder:    EfficientLadder(),
+			Speed:     0.7,
+			DynScale:  0.35,
+			LeakScale: 0.6,
+		},
+	}}
+}

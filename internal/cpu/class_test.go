@@ -1,0 +1,179 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/deeppower/deeppower/internal/sim"
+)
+
+// TestClassFactorsZeroMeansOne pins the zero-value contract: an unscaled
+// class behaves exactly like a reference core.
+func TestClassFactorsZeroMeansOne(t *testing.T) {
+	var c Class
+	if c.SpeedFactor() != 1 || c.DynFactor() != 1 || c.LeakFactor() != 1 {
+		t.Fatalf("zero class factors = %v/%v/%v, want 1/1/1",
+			c.SpeedFactor(), c.DynFactor(), c.LeakFactor())
+	}
+	c = Class{Speed: 0.7, DynScale: 0.35, LeakScale: 0.6}
+	if c.SpeedFactor() != 0.7 || c.DynFactor() != 0.35 || c.LeakFactor() != 0.6 {
+		t.Fatalf("explicit class factors = %v/%v/%v",
+			c.SpeedFactor(), c.DynFactor(), c.LeakFactor())
+	}
+}
+
+// TestTopologyValidate table-drives the topology validator.
+func TestTopologyValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		topo    Topology
+		wantErr string
+	}{
+		{"no classes", Topology{}, "no classes"},
+		{"zero count", Topology{Classes: []Class{{Name: "f", Ladder: DefaultLadder()}}}, "non-positive count"},
+		{"negative count", Topology{Classes: []Class{{Name: "f", Count: -1, Ladder: DefaultLadder()}}}, "non-positive count"},
+		{"bad ladder", Topology{Classes: []Class{{Name: "f", Count: 1}}}, "ladder"},
+		{"negative scale", Topology{Classes: []Class{{Name: "f", Count: 1, Ladder: DefaultLadder(), Speed: -1}}}, "negative scale"},
+		{"default hetero", DefaultHetero(2, 2), ""},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.topo.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestTopologyClassOf checks the contiguous core→class mapping and its
+// out-of-range panic.
+func TestTopologyClassOf(t *testing.T) {
+	topo := DefaultHetero(2, 3)
+	if topo.TotalCores() != 5 {
+		t.Fatalf("total cores = %d", topo.TotalCores())
+	}
+	want := []int{0, 0, 1, 1, 1}
+	for core, cls := range want {
+		if got := topo.ClassOf(core); got != cls {
+			t.Errorf("ClassOf(%d) = %d, want %d", core, got, cls)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ClassOf past the last core did not panic")
+		}
+	}()
+	topo.ClassOf(5)
+}
+
+// TestDefaultHeteroShape pins the stock 2-class part: fast cores on the
+// default ladder, efficiency cores slower, cooler, and on the low ladder.
+func TestDefaultHeteroShape(t *testing.T) {
+	topo := DefaultHetero(4, 2)
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	fast, eff := topo.Classes[0], topo.Classes[1]
+	if fast.Name != "fast" || fast.Count != 4 || fast.Ladder != DefaultLadder() {
+		t.Fatalf("fast class = %+v", fast)
+	}
+	if eff.Name != "efficient" || eff.Count != 2 || eff.Ladder != EfficientLadder() {
+		t.Fatalf("efficient class = %+v", eff)
+	}
+	if eff.SpeedFactor() >= 1 || eff.DynFactor() >= 1 || eff.LeakFactor() >= 1 {
+		t.Fatalf("efficiency class not strictly cheaper/slower: %+v", eff)
+	}
+	if el := EfficientLadder(); el.Validate() != nil || el.Max >= DefaultLadder().Max {
+		t.Fatalf("efficient ladder %+v not below the default envelope", el)
+	}
+}
+
+// TestPlacementLevelsProperties checks the placement ladder invariants over
+// randomized topologies: every level is in range with no negative entries and
+// at least one enabled thread, adjacent levels differ by exactly one thread,
+// and the sweep spans efficiency-only to performance-only.
+func TestPlacementLevelsProperties(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := sim.NewRNG(seed).Stream("placement-levels")
+		k := 1 + rng.Intn(3)
+		topo := Topology{}
+		for i := 0; i < k; i++ {
+			lad := DefaultLadder()
+			if i > 0 {
+				lad = EfficientLadder()
+			}
+			topo.Classes = append(topo.Classes, Class{
+				Name:   string(rune('a' + i)),
+				Count:  1 + rng.Intn(4),
+				Ladder: lad,
+			})
+		}
+		if err := topo.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		levels := topo.PlacementLevels()
+		if len(levels) == 0 {
+			t.Fatalf("seed %d: no levels", seed)
+		}
+		others := 0
+		for i := 1; i < k; i++ {
+			others += topo.Classes[i].Count
+		}
+		wantLen := topo.Classes[0].Count + others
+		if k > 1 {
+			wantLen++ // the initial class-0-empty level
+		}
+		if len(levels) != wantLen {
+			t.Fatalf("seed %d: %d levels, want %d", seed, len(levels), wantLen)
+		}
+		prevTotal := 0
+		for li, lv := range levels {
+			if len(lv) != k {
+				t.Fatalf("seed %d level %d: arity %d, want %d", seed, li, len(lv), k)
+			}
+			total := 0
+			for c, n := range lv {
+				if n < 0 || n > topo.Classes[c].Count {
+					t.Fatalf("seed %d level %d: class %d count %d outside [0,%d]",
+						seed, li, c, n, topo.Classes[c].Count)
+				}
+				total += n
+			}
+			if total == 0 {
+				t.Fatalf("seed %d level %d: no enabled threads", seed, li)
+			}
+			if li > 0 {
+				diff := 0
+				for c := range lv {
+					d := lv[c] - levels[li-1][c]
+					if d < 0 {
+						d = -d
+					}
+					diff += d
+				}
+				if diff != 1 {
+					t.Fatalf("seed %d: levels %d→%d change %d threads, want 1", seed, li-1, li, diff)
+				}
+			}
+			prevTotal = total
+		}
+		_ = prevTotal
+		last := levels[len(levels)-1]
+		if last[0] != topo.Classes[0].Count {
+			t.Fatalf("seed %d: top level %v does not fully enable the performance class", seed, last)
+		}
+		for c := 1; c < k; c++ {
+			if last[c] != 0 {
+				t.Fatalf("seed %d: top level %v keeps efficiency class %d enabled", seed, last, c)
+			}
+		}
+	}
+}

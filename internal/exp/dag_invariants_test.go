@@ -1,0 +1,174 @@
+package exp
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/deeppower/deeppower/internal/app"
+	"github.com/deeppower/deeppower/internal/server"
+	"github.com/deeppower/deeppower/internal/sim"
+	"github.com/deeppower/deeppower/internal/workload"
+)
+
+// randomDAG draws a random acyclic stage graph: 1–6 stages, each wired to a
+// random subset of earlier stages (forward references only, so acyclicity is
+// by construction), with a mix of fixed and heavy-tailed stage samplers.
+func randomDAG(rng *sim.RNG) *app.DAG {
+	n := 1 + rng.Intn(6)
+	d := &app.DAG{Name: "rand"}
+	for i := 0; i < n; i++ {
+		st := app.DAGStage{Name: fmt.Sprintf("s%d", i)}
+		if rng.Float64() < 0.5 {
+			st.Sampler = app.FixedSampler{Service: sim.Time(100+rng.Intn(600)) * sim.Microsecond}
+		} else {
+			st.Sampler = &app.TailedSampler{
+				BaseUS:     50 + 200*rng.Float64(),
+				CoefUS:     20 + 100*rng.Float64(),
+				Sigma1:     0.3 + 0.4*rng.Float64(),
+				NoiseSigma: 0.1,
+			}
+		}
+		for p := 0; p < i; p++ {
+			if rng.Float64() < 0.4 {
+				st.Preds = append(st.Preds, p)
+			}
+		}
+		d.Stages = append(d.Stages, st)
+	}
+	return d
+}
+
+// TestDAGRandomizedInvariants is the DAG counterpart of the randomized
+// invariant suite: 100 random stage graphs under random load, each checked
+// against the properties that must hold whatever the draw — per-stage request
+// conservation, precedence (a stage never starts before its last predecessor
+// finishes), end-to-end latency bounded below by the critical path, and exact
+// repeat-run stability of every counter, trace, and joule.
+func TestDAGRandomizedInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100 randomized DAG simulations")
+	}
+	const iters = 100
+	for seed := int64(0); seed < iters; seed++ {
+		rng := sim.NewRNG(seed).Stream("dag-invariants")
+		d := randomDAG(rng)
+		workers := 1 + rng.Intn(4)
+		prof := &app.Profile{
+			Name:    "dag-inv",
+			SLA:     sim.Time(2+rng.Intn(8)) * sim.Millisecond,
+			Workers: workers,
+			RefFreq: 2.1,
+			DAG:     d,
+		}
+		n := d.NumStages()
+		dur := 500 * sim.Millisecond
+		mean := d.MeanTotalService(seed, 2000).Seconds()
+		rate := (0.2 + 0.4*rng.Float64()) * float64(workers) / mean
+		trace := workload.Constant(rate, dur)
+
+		run := func() *server.Result {
+			t.Helper()
+			eng := sim.NewEngine()
+			srv, err := server.New(eng, server.Config{App: prof, Seed: seed, RecordJobs: true},
+				&fixedFreqPolicy{f: 1.7})
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			res, err := srv.Run(trace, dur)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			return res
+		}
+		res := run()
+		c := res.Counters
+
+		// Invariant 1 — conservation. Stage requests: completed ≤ dispatched
+		// ≤ admitted, with in-service work bounded by the core count. Jobs:
+		// a job admits at most one request per stage, and a completed job
+		// completed every stage exactly once.
+		if c.Completions > c.Dispatched || c.Dispatched > c.Arrivals {
+			t.Fatalf("seed %d: stage counter conservation violated: %+v", seed, c)
+		}
+		if inFlight := c.Dispatched - c.Completions; inFlight > uint64(workers) {
+			t.Fatalf("seed %d: %d stages in service on %d cores", seed, inFlight, workers)
+		}
+		if c.JobCompletions > c.JobArrivals {
+			t.Fatalf("seed %d: more jobs completed than arrived: %+v", seed, c)
+		}
+		if c.Arrivals > c.JobArrivals*uint64(n) {
+			t.Fatalf("seed %d: %d stage admissions exceed %d jobs × %d stages", seed, c.Arrivals, c.JobArrivals, n)
+		}
+		if c.Completions < c.JobCompletions*uint64(n) {
+			t.Fatalf("seed %d: %d stage completions below %d completed jobs × %d stages",
+				seed, c.Completions, c.JobCompletions, n)
+		}
+		if c.JobArrivals == 0 || c.JobCompletions == 0 {
+			t.Fatalf("seed %d: degenerate run %+v", seed, c)
+		}
+		if uint64(len(res.Jobs)) != c.JobCompletions {
+			t.Fatalf("seed %d: %d traces for %d completed jobs", seed, len(res.Jobs), c.JobCompletions)
+		}
+
+		// Invariants 2–4 — per-job schedule properties.
+		seen := make(map[uint64]bool, len(res.Jobs))
+		for _, j := range res.Jobs {
+			if seen[j.ID] {
+				t.Fatalf("seed %d: duplicate job trace %d", seed, j.ID)
+			}
+			seen[j.ID] = true
+			if len(j.StageStart) != n || len(j.StageFinish) != n {
+				t.Fatalf("seed %d job %d: %d stage times for %d stages", seed, j.ID, len(j.StageStart), n)
+			}
+			var last sim.Time
+			var sumDur float64
+			for i := 0; i < n; i++ {
+				start, finish := j.StageStart[i], j.StageFinish[i]
+				if start < j.Arrive || finish < start {
+					t.Fatalf("seed %d job %d stage %d: schedule [%v,%v] outside [%v,...]",
+						seed, j.ID, i, start, finish, j.Arrive)
+				}
+				sumDur += (finish - start).Seconds()
+				if finish > last {
+					last = finish
+				}
+				// Precedence: a stage is admitted only when every predecessor
+				// has finished, so it can never start earlier.
+				for _, p := range d.Preds(i) {
+					if start < j.StageFinish[p] {
+						t.Fatalf("seed %d job %d: stage %d started %v before predecessor %d finished %v",
+							seed, j.ID, i, start, p, j.StageFinish[p])
+					}
+				}
+			}
+			if j.Finish != last {
+				t.Fatalf("seed %d job %d: finish %v != last stage finish %v", seed, j.ID, j.Finish, last)
+			}
+			// Critical path: positive, within the total processing time, and
+			// a lower bound on the end-to-end latency.
+			lat := (j.Finish - j.Arrive).Seconds()
+			if j.CriticalPathSec <= 0 || j.CriticalPathSec > sumDur*(1+1e-9) {
+				t.Fatalf("seed %d job %d: critical path %v outside (0, Σdurations %v]",
+					seed, j.ID, j.CriticalPathSec, sumDur)
+			}
+			if lat < j.CriticalPathSec*(1-1e-9) {
+				t.Fatalf("seed %d job %d: e2e latency %v below critical path %v",
+					seed, j.ID, lat, j.CriticalPathSec)
+			}
+		}
+
+		// Invariant 5 — repeat-run determinism: an identical configuration
+		// reproduces every counter, every job trace, and the exact energy.
+		again := run()
+		if res.Counters != again.Counters {
+			t.Fatalf("seed %d: counters not stable: %+v vs %+v", seed, res.Counters, again.Counters)
+		}
+		if !reflect.DeepEqual(res.Jobs, again.Jobs) {
+			t.Fatalf("seed %d: job traces not stable across identical runs", seed)
+		}
+		if res.EnergyJ != again.EnergyJ {
+			t.Fatalf("seed %d: energy not stable: %v vs %v", seed, res.EnergyJ, again.EnergyJ)
+		}
+	}
+}

@@ -29,20 +29,25 @@ const (
 )
 
 // fleetGen describes one machine generation of the heterogeneous fleet.
-// Generations share the performance model (same cores, same service times) and
-// differ only in power draw — mixed hardware ages in one fleet is the signal a
-// power-aware balancer exploits, while a load-only balancer cannot tell the
+// Generations differ in power draw and core complement: newer parts burn
+// fewer watts per cycle and bolt efficiency cores next to the fast ones,
+// while the oldest generation is a homogeneous fast-core part from before
+// hybrid silicon. Mixed hardware ages in one fleet is the signal a
+// power-aware balancer exploits — a load-only balancer cannot tell the
 // machines apart.
 type fleetGen struct {
 	name                 string
 	dynMul, leakMul, unc float64
+	// efficient is the generation's efficiency-core complement as a fraction
+	// of the profile's fast-core count (0 = homogeneous).
+	efficient float64
 }
 
 // fleetGens is the generation mix, assigned round-robin by shard index.
 var fleetGens = []fleetGen{
-	{name: "new", dynMul: 0.80, leakMul: 0.80, unc: 0.90},
-	{name: "mid", dynMul: 1.00, leakMul: 1.00, unc: 1.00},
-	{name: "old", dynMul: 1.30, leakMul: 1.25, unc: 1.10},
+	{name: "new", dynMul: 0.80, leakMul: 0.80, unc: 0.90, efficient: 1.0},
+	{name: "mid", dynMul: 1.00, leakMul: 1.00, unc: 1.00, efficient: 0.5},
+	{name: "old", dynMul: 1.30, leakMul: 1.25, unc: 1.10, efficient: 0},
 }
 
 // fleetPowerModel returns shard i's generation-scaled power model.
@@ -53,6 +58,21 @@ func fleetPowerModel(i int) power.Model {
 	m.LeakPerCore *= g.leakMul
 	m.Uncore *= g.unc
 	return m
+}
+
+// fleetTopology returns shard i's core topology: the generation's efficiency
+// complement alongside the profile's fast cores, or nil for the homogeneous
+// old generation. The fleet's sealed policy was trained homogeneous and does
+// not drive placement, so hybrid shards run all cores — the extra efficiency
+// cores add cheap capacity that the per-class power curves price in.
+func fleetTopology(i, workers int) *cpu.Topology {
+	g := fleetGens[i%len(fleetGens)]
+	eff := int(g.efficient*float64(workers) + 0.5)
+	if eff <= 0 {
+		return nil
+	}
+	t := cpu.DefaultHetero(workers, eff)
+	return &t
 }
 
 // FleetFaultPlan is the per-shard fault campaign of the fleet's degraded-mode
@@ -252,11 +272,16 @@ func fleetShardConfigs(setup *Setup, scale Scale, shards int, dur sim.Time, seal
 		}
 		scfg := setup.ServerConfig(sim.SubSeed(scale.Seed, fmt.Sprintf("fleet/shard/%d", i)))
 		scfg.Power = fleetPowerModel(i)
+		scfg.Topology = fleetTopology(i, setup.Prof.Workers)
 		scfg.Warmup = dur / 10
 		scfg.DiscardLatencies = true
+		cores := setup.Prof.Workers
+		if scfg.Topology != nil {
+			cores = scfg.Topology.TotalCores()
+		}
 		var pol server.Policy = dp
 		if plan != nil {
-			inj, err := fault.NewInjector(plan(i), setup.Prof.Workers)
+			inj, err := fault.NewInjector(plan(i), cores)
 			if err != nil {
 				return nil, err
 			}
@@ -286,7 +311,14 @@ func fleetPowerBudget(setup *Setup, shards int) float64 {
 	total := 0.0
 	for i := 0; i < shards; i++ {
 		m := fleetPowerModel(i)
-		total += m.Uncore + float64(setup.Prof.Workers)*m.CorePower(turbo, true)
+		total += m.Uncore
+		if t := fleetTopology(i, setup.Prof.Workers); t != nil {
+			for _, c := range t.Classes {
+				total += float64(c.Count) * m.CorePowerScaled(c.Ladder.Max, true, c.DynFactor(), c.LeakFactor())
+			}
+		} else {
+			total += float64(setup.Prof.Workers) * m.CorePower(turbo, true)
+		}
 	}
 	return 0.9 * total
 }

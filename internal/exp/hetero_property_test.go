@@ -1,0 +1,178 @@
+package exp
+
+import (
+	"testing"
+
+	"github.com/deeppower/deeppower/internal/app"
+	"github.com/deeppower/deeppower/internal/cpu"
+	"github.com/deeppower/deeppower/internal/server"
+	"github.com/deeppower/deeppower/internal/sim"
+	"github.com/deeppower/deeppower/internal/workload"
+)
+
+// placedFixedPolicy pins a frequency and a static per-class placement.
+type placedFixedPolicy struct {
+	fixedFreqPolicy
+	counts []int
+}
+
+func (p *placedFixedPolicy) Init(c server.Control) {
+	p.fixedFreqPolicy.Init(c)
+	c.SetPlacement(p.counts)
+}
+
+// heteroRun executes one fixed-frequency episode on a heterogeneous server.
+func heteroRun(t *testing.T, topo cpu.Topology, pol server.Policy, seed int64,
+	prof *app.Profile, trace *workload.Trace, dur sim.Time, recordJobs bool) *server.Result {
+	t.Helper()
+	eng := sim.NewEngine()
+	srv, err := server.New(eng, server.Config{
+		App: prof, Seed: seed, Topology: &topo, RecordJobs: recordJobs,
+	}, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := srv.Run(trace, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestHeteroClassEnergyMonotone checks per-class energy monotonicity: with a
+// class isolated by placement (so the frequency choice cannot shift work to
+// the other class's cores), serving the same workload at a higher fixed
+// frequency must not cost that class less energy — its power curve rises
+// superlinearly with the (ladder-clamped) frequency, so each request costs
+// more joules even though it finishes sooner.
+func TestHeteroClassEnergyMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized simulations")
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		rng := sim.NewRNG(seed).Stream("hetero-energy")
+		topo := cpu.DefaultHetero(1+rng.Intn(3), 1+rng.Intn(3))
+		workers := topo.TotalCores()
+		prof := invProfile(sim.Time(200+rng.Intn(600))*sim.Microsecond,
+			sim.Time(2+rng.Intn(8))*sim.Millisecond, workers)
+		dur := 400 * sim.Millisecond
+		for c, cl := range topo.Classes {
+			counts := make([]int, len(topo.Classes))
+			counts[c] = cl.Count
+			rate := (0.1 + 0.3*rng.Float64()) * float64(cl.Count) / prof.Sampler.Sample(rng).ServiceRef.Seconds()
+			trace := workload.Constant(rate, dur)
+			run := func(f cpu.Freq) *server.Result {
+				return heteroRun(t, topo, &placedFixedPolicy{
+					fixedFreqPolicy: fixedFreqPolicy{f: f}, counts: counts,
+				}, seed, prof, trace, dur, false)
+			}
+			lo, hi := run(0.8), run(2.1)
+			if len(lo.ClassEnergyJ) != len(topo.Classes) || len(hi.ClassEnergyJ) != len(topo.Classes) {
+				t.Fatalf("seed %d: class energy vectors %v / %v for %d classes",
+					seed, lo.ClassEnergyJ, hi.ClassEnergyJ, len(topo.Classes))
+			}
+			if lo.ClassEnergyJ[c] <= 0 {
+				t.Fatalf("seed %d class %d: non-positive energy %v", seed, c, lo.ClassEnergyJ[c])
+			}
+			if hi.ClassEnergyJ[c] < lo.ClassEnergyJ[c] {
+				t.Fatalf("seed %d class %d: energy not monotone in frequency: %.4f J @2.1GHz < %.4f J @0.8GHz",
+					seed, c, hi.ClassEnergyJ[c], lo.ClassEnergyJ[c])
+			}
+		}
+	}
+}
+
+// TestEfficientNeverBeatsFastOnCriticalPath pins the class speed model: with
+// contention off, fixed service draws, and both placements actuating the same
+// frequency, an efficient-only placement (0.7× throughput per GHz) can never
+// produce a shorter per-job critical path than the fast-only placement.
+func TestEfficientNeverBeatsFastOnCriticalPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paired simulations")
+	}
+	dag, err := app.ParseDAG("cp", "gate(300us); auth(500us):gate; search(900us):gate; merge(400us):auth,search")
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := cpu.DefaultHetero(2, 2)
+	prof := &app.Profile{
+		Name:    "cp-prop",
+		SLA:     20 * sim.Millisecond,
+		Workers: topo.TotalCores(),
+		RefFreq: 2.1,
+		DAG:     dag,
+	}
+	dur := 400 * sim.Millisecond
+	trace := workload.Constant(200, dur)
+	// 1.2 GHz is a valid rung on both the fast (0.8–2.1) and efficient
+	// (0.6–1.6) ladders, so the two placements sit at the same absolute
+	// operating point and differ only in class speed.
+	const f = cpu.Freq(1.2)
+	for seed := int64(0); seed < 10; seed++ {
+		fast := heteroRun(t, topo, &placedFixedPolicy{
+			fixedFreqPolicy: fixedFreqPolicy{f: f}, counts: []int{2, 0},
+		}, seed, prof, trace, dur, true)
+		eff := heteroRun(t, topo, &placedFixedPolicy{
+			fixedFreqPolicy: fixedFreqPolicy{f: f}, counts: []int{0, 2},
+		}, seed, prof, trace, dur, true)
+
+		fastCP := make(map[uint64]float64, len(fast.Jobs))
+		for _, j := range fast.Jobs {
+			fastCP[j.ID] = j.CriticalPathSec
+		}
+		matched := 0
+		for _, j := range eff.Jobs {
+			fcp, ok := fastCP[j.ID]
+			if !ok {
+				continue
+			}
+			matched++
+			if j.CriticalPathSec < fcp*(1-1e-9) {
+				t.Fatalf("seed %d job %d: efficient-only critical path %v beats fast-only %v at %.1f GHz",
+					seed, j.ID, j.CriticalPathSec, fcp, float64(f))
+			}
+		}
+		if matched == 0 {
+			t.Fatalf("seed %d: no jobs completed under both placements", seed)
+		}
+	}
+}
+
+// TestPlacementAppliesToServer checks the placement actuation path end to
+// end: hostile vectors are clamped or ignored, enabled counts follow the
+// vector, and a placement that would disable every thread is rejected.
+func TestPlacementAppliesToServer(t *testing.T) {
+	topo := cpu.DefaultHetero(2, 3)
+	prof := invProfile(500*sim.Microsecond, 5*sim.Millisecond, topo.TotalCores())
+	eng := sim.NewEngine()
+	pol := &fixedFreqPolicy{f: 1.2}
+	srv, err := server.New(eng, server.Config{App: prof, Seed: 1, Topology: &topo}, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enabled := func() []int {
+		var out []int
+		for _, cs := range srv.Snapshot().Classes {
+			out = append(out, cs.Enabled)
+		}
+		return out
+	}
+	check := func(counts, want []int) {
+		t.Helper()
+		srv.SetPlacement(counts)
+		got := enabled()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("SetPlacement(%v): enabled %v, want %v", counts, got, want)
+			}
+		}
+	}
+	check([]int{1, 2}, []int{1, 2})
+	// Out-of-range entries clamp into [0, class size].
+	check([]int{99, -7}, []int{2, 0})
+	// An all-zero placement would deadlock the server and is ignored.
+	check([]int{0, 0}, []int{2, 0})
+	// A wrong-arity vector is ignored.
+	check([]int{1}, []int{2, 0})
+	check([]int{2, 3}, []int{2, 3})
+}

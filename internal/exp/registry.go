@@ -71,6 +71,8 @@ func Harnesses() []Harness {
 		{Name: "policylife", Deterministic: true, Run: runPolicyLifeH},
 		{Name: "fleet", Deterministic: true, Run: runFleetH},
 		{Name: "vectrain", Deterministic: false, Run: runVecTrainH},
+		{Name: "dagserve", Deterministic: true, Run: runDAGServeH},
+		{Name: "heteroplace", Deterministic: true, Run: runHeteroPlaceH},
 	}
 }
 
@@ -304,6 +306,22 @@ func runVecTrainH(ctx context.Context, scale Scale, workers int) ([]Artifact, er
 		return nil, err
 	}
 	return []Artifact{tableArtifact("vectrain_xapian", r.Table())}, nil
+}
+
+func runDAGServeH(ctx context.Context, scale Scale, workers int) ([]Artifact, error) {
+	r, err := DAGServe(ctx, scale, workers)
+	if err != nil {
+		return nil, err
+	}
+	return []Artifact{tableArtifact("dagserve_searchsvc", r.Table())}, nil
+}
+
+func runHeteroPlaceH(ctx context.Context, scale Scale, workers int) ([]Artifact, error) {
+	r, err := HeteroPlace(ctx, scale, workers)
+	if err != nil {
+		return nil, err
+	}
+	return []Artifact{tableArtifact("heteroplace_xapian", r.Table())}, nil
 }
 
 func runRobustnessH(ctx context.Context, scale Scale, workers int) ([]Artifact, error) {

@@ -1,0 +1,48 @@
+package exp
+
+import "testing"
+
+// registrySize is the single source of truth for the harness count. Prose
+// (ROADMAP.md, EXPERIMENTS.md) must not hard-code the number — earlier
+// revisions drifted ("19-entry registry" outliving three additions) — it
+// should point here instead.
+const registrySize = 24
+
+// TestRegistryShape pins the registry's structural contract: the expected
+// entry count, unique non-empty names, a Run function per entry, and
+// HarnessByName resolving every registered name (and only those).
+func TestRegistryShape(t *testing.T) {
+	hs := Harnesses()
+	if len(hs) != registrySize {
+		t.Fatalf("registry has %d harnesses, want %d (update registrySize and any prose that names the count)",
+			len(hs), registrySize)
+	}
+	seen := make(map[string]bool, len(hs))
+	for _, h := range hs {
+		if h.Name == "" {
+			t.Fatal("harness with empty name")
+		}
+		if seen[h.Name] {
+			t.Fatalf("duplicate harness name %q", h.Name)
+		}
+		seen[h.Name] = true
+		if h.Run == nil {
+			t.Fatalf("harness %q has no Run function", h.Name)
+		}
+		got, err := HarnessByName(h.Name)
+		if err != nil {
+			t.Fatalf("HarnessByName(%q): %v", h.Name, err)
+		}
+		if got.Name != h.Name {
+			t.Fatalf("HarnessByName(%q) returned %q", h.Name, got.Name)
+		}
+	}
+	for _, name := range []string{"dagserve", "heteroplace"} {
+		if !seen[name] {
+			t.Fatalf("harness %q not registered", name)
+		}
+	}
+	if _, err := HarnessByName("no-such-harness"); err == nil {
+		t.Fatal("HarnessByName accepted an unknown name")
+	}
+}

@@ -321,6 +321,14 @@ func (g *GuardedPolicy) fallback(now sim.Time) {
 	}
 	// Clear the window so safe mode is judged on its own completions.
 	g.completions = g.completions[:0]
+	// Safe mode runs at full capacity: every core enabled, pinned to turbo.
+	if t := g.ctl.Topology(); t != nil {
+		counts := make([]int, len(t.Classes))
+		for i, c := range t.Classes {
+			counts[i] = c.Count
+		}
+		g.ctl.SetPlacement(counts)
+	}
 	for i := 0; i < g.ctl.NumCores(); i++ {
 		g.ctl.SetTurbo(i)
 	}
@@ -385,6 +393,15 @@ func (gc *guardedControl) SetScore(core int, score float64) {
 		return
 	}
 	gc.Control.SetScore(core, score)
+}
+
+// SetPlacement is suppressed in safe mode: the guard's frequency pin runs
+// with every core enabled, so a degraded policy cannot shrink capacity.
+func (gc *guardedControl) SetPlacement(counts []int) {
+	if gc.g.safeMode {
+		return
+	}
+	gc.Control.SetPlacement(counts)
 }
 
 func (gc *guardedControl) Sleep(core int, state cpu.CState) bool {

@@ -28,6 +28,7 @@ func (f *fakeCtl) Ladder() cpu.Ladder         { return cpu.Ladder{Min: 0.8, Max:
 func (f *fakeCtl) Freq(i int) cpu.Freq        { return f.freqs[i] }
 func (f *fakeCtl) SetTurbo(i int)             { f.freqs[i] = f.turbo }
 func (f *fakeCtl) SetFreq(i int, fr cpu.Freq) { f.freqs[i] = fr }
+func (f *fakeCtl) Topology() *cpu.Topology    { return nil }
 
 // rollbackGuardConfig is shared by the ladder tests: checks every 10 ms over
 // a 100 ms window, trips at a 10% timeout rate after 4 samples.

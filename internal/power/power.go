@@ -83,6 +83,20 @@ func (m Model) CorePower(f cpu.Freq, active bool) float64 {
 	return m.LeakPerCore + dyn
 }
 
+// CorePowerScaled is CorePower with per-class curve scaling: dynScale
+// multiplies the dynamic coefficient and leakScale the static leakage. With
+// both factors 1 it is numerically identical to CorePower — the homogeneous
+// fast path. Heterogeneous core classes (cpu.Class) carry their factors as
+// plain floats so this package stays the only one that knows the curve.
+func (m Model) CorePowerScaled(f cpu.Freq, active bool, dynScale, leakScale float64) float64 {
+	v := m.Voltage(f)
+	dyn := m.DynCoef * dynScale * float64(f) * v * v
+	if !active {
+		dyn *= m.IdleFrac
+	}
+	return m.LeakPerCore*leakScale + dyn
+}
+
 // SocketPower returns total package power given each core's frequency and
 // activity. The two slices must have equal length.
 func (m Model) SocketPower(freqs []cpu.Freq, active []bool) float64 {

@@ -68,18 +68,20 @@ func (s *Server) applyFreq(core int, f cpu.Freq) {
 	}
 }
 
-// SetTurbo implements Control.
+// SetTurbo implements Control. Each core engages its own ladder's turbo
+// (identical to the config ladder on homogeneous servers).
 func (s *Server) SetTurbo(core int) {
-	s.SetFreq(core, s.cfg.Ladder.Turbo)
+	s.SetFreq(core, s.cores[core].Ladder().Turbo)
 }
 
-// SetScore implements Control: the thread-controller mapping of Algorithm 1.
+// SetScore implements Control: the thread-controller mapping of Algorithm 1,
+// interpolated on the core's own class ladder.
 func (s *Server) SetScore(core int, score float64) {
 	if score >= 1 {
 		s.SetTurbo(core)
 		return
 	}
-	s.SetFreq(core, s.cfg.Ladder.Interpolate(score))
+	s.SetFreq(core, s.cores[core].Ladder().Interpolate(score))
 }
 
 // Freq implements Control.
@@ -99,6 +101,70 @@ func (s *Server) Sleep(core int, state cpu.CState) bool {
 
 // CoreCState implements Control.
 func (s *Server) CoreCState(core int) cpu.CState { return s.cores[core].CState() }
+
+// Topology implements Control.
+func (s *Server) Topology() *cpu.Topology { return s.topo }
+
+// CoreParked implements Control.
+func (s *Server) CoreParked(core int) bool { return s.workers[core].parked }
+
+// SetPlacement implements Control: enable the first counts[c] cores of each
+// class and park the rest. Counts are clamped into [0, class size]; a
+// request that would disable every thread is ignored (the server never
+// deadlocks on a hostile action). Parked busy cores drain their request;
+// newly enabled cores immediately drain the queue.
+func (s *Server) SetPlacement(counts []int) {
+	if s.topo == nil || len(counts) != len(s.topo.Classes) {
+		return
+	}
+	total := 0
+	for c, cl := range s.topo.Classes {
+		want := counts[c]
+		if want < 0 {
+			want = 0
+		}
+		if want > cl.Count {
+			want = cl.Count
+		}
+		total += want
+	}
+	if total == 0 {
+		return
+	}
+	idx := 0
+	for c, cl := range s.topo.Classes {
+		want := counts[c]
+		if want < 0 {
+			want = 0
+		}
+		if want > cl.Count {
+			want = cl.Count
+		}
+		for i := 0; i < cl.Count; i++ {
+			w := s.workers[idx]
+			idx++
+			park := i >= want
+			if park == w.parked {
+				continue
+			}
+			w.parked = park
+			if park && w.req == nil {
+				// An idle parked core drops to its ladder floor at once;
+				// a busy one keeps the controller's schedule while it
+				// drains.
+				s.SetFreq(w.core.ID(), w.core.Ladder().Min)
+			}
+		}
+	}
+	// Newly enabled workers pick up stranded queued requests immediately.
+	for s.queue.Len() > 0 {
+		w := s.idleWorker()
+		if w == nil {
+			return
+		}
+		s.dispatch(w, s.queue.Pop())
+	}
+}
 
 // CoreRequest implements Control.
 func (s *Server) CoreRequest(core int) *Request { return s.workers[core].req }
@@ -149,6 +215,19 @@ type Snapshot struct {
 	CoreSLARemaining []sim.Time
 	Counters         Counters
 	Energy           float64
+	// Classes is the per-class state feed on heterogeneous servers (nil
+	// when homogeneous): busy/enabled core counts and cumulative energy
+	// attributed to each class's cores.
+	Classes []ClassSnap
+}
+
+// ClassSnap is one core class's slice of a Snapshot.
+type ClassSnap struct {
+	Name    string
+	Cores   int // cores in the class
+	Enabled int // cores not parked by placement
+	Busy    int // cores processing a request
+	EnergyJ float64
 }
 
 // Snapshot builds a point-in-time Snapshot. A configured fault injector
@@ -169,6 +248,24 @@ func (s *Server) Snapshot() Snapshot {
 	for _, w := range s.workers {
 		if w.req != nil {
 			snap.CoreSLARemaining = append(snap.CoreSLARemaining, w.req.SLARemaining(now, s.prof.SLA))
+		}
+	}
+	if s.topo != nil {
+		snap.Classes = make([]ClassSnap, len(s.topo.Classes))
+		idx := 0
+		for c, cl := range s.topo.Classes {
+			cs := ClassSnap{Name: cl.Name, Cores: cl.Count, EnergyJ: s.classEnergy[c]}
+			for i := 0; i < cl.Count; i++ {
+				w := s.workers[idx]
+				idx++
+				if !w.parked {
+					cs.Enabled++
+				}
+				if w.req != nil {
+					cs.Busy++
+				}
+			}
+			snap.Classes[c] = cs
 		}
 	}
 	if s.cfg.Faults != nil {

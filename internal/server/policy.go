@@ -40,6 +40,18 @@ type Control interface {
 	// CoreCState returns a core's current sleep state.
 	CoreCState(core int) cpu.CState
 
+	// Topology returns the heterogeneous core topology, or nil when all
+	// cores are one homogeneous class on the config ladder.
+	Topology() *cpu.Topology
+	// SetPlacement requests how many worker threads run on each core class
+	// (one count per topology class). Counts are clamped to each class's
+	// size; a request disabling every thread is ignored. Disabled cores
+	// drain their current request but take no new work until re-enabled.
+	// A no-op on homogeneous servers.
+	SetPlacement(counts []int)
+	// CoreParked reports whether placement has disabled a core.
+	CoreParked(core int) bool
+
 	// CoreRequest returns the request a core is processing, or nil.
 	CoreRequest(core int) *Request
 	// QueueLen returns the number of queued (undispatched) requests.
@@ -62,12 +74,19 @@ type Control interface {
 	PredictService(ref sim.Time, f cpu.Freq) sim.Time
 }
 
-// Counters are cumulative event counts, cheap to copy.
+// Counters are cumulative event counts, cheap to copy. On a DAG-profile
+// server Arrivals/Dispatched/Completions count stage requests (the units
+// the FIFO and workers see) while JobArrivals/JobCompletions count whole
+// stage graphs; Timeouts then counts jobs whose end-to-end latency exceeded
+// the SLA, since no single stage has an SLA of its own.
 type Counters struct {
 	Arrivals    uint64
 	Dispatched  uint64
 	Completions uint64
 	Timeouts    uint64 // completions whose latency exceeded the SLA
+	// JobArrivals and JobCompletions count DAG jobs (0 on flat profiles).
+	JobArrivals    uint64
+	JobCompletions uint64
 	// LatencyDropped counts completions whose latency sample was not
 	// retained because Config.LatencyCap was reached. The streaming
 	// mean/p99 digests still include them.

@@ -26,9 +26,15 @@ type Request struct {
 	ServiceActual sim.Time
 	// CoreID is the core that processed the request (-1 until dispatched).
 	CoreID int
+	// Stage is the DAG stage index this request executes, or -1 for flat
+	// (single-stage) requests. For stage requests Arrive is the owning
+	// job's arrival, so SLARemaining tracks the end-to-end budget.
+	Stage int
 
 	// remaining is reference-service seconds of work left.
 	remaining float64
+	// job is the owning DAG job, nil for flat requests.
+	job *job
 }
 
 // Dispatched reports whether a worker has started the request.

@@ -42,6 +42,21 @@ type Result struct {
 	// SLAMet reports whether p99 latency is within the SLA.
 	SLAMet bool
 
+	// MeanCriticalPathSec is the mean critical path (longest chain of stage
+	// processing durations) of completed DAG jobs, 0 on flat profiles. The
+	// critical path lower-bounds the achievable end-to-end latency at the
+	// observed frequencies, so the gap to Latency.Mean is queueing and
+	// precedence stall.
+	MeanCriticalPathSec float64
+	// MeanCriticalPathShare is the mean of critical-path/latency per job.
+	MeanCriticalPathShare float64
+	// Jobs retains per-job traces when Config.RecordJobs was set.
+	Jobs []JobTrace
+
+	// ClassEnergyJ is cumulative post-warmup energy per core class on
+	// heterogeneous servers, nil otherwise.
+	ClassEnergyJ []float64
+
 	// Series is the periodic time series when enabled.
 	Series *Series
 	// FreqTrace is the per-tick frequency trace when enabled.
@@ -118,8 +133,20 @@ func (s *Server) buildResult(start, duration sim.Time) *Result {
 		res.Latency.Std = s.latMean.StdDev()
 		res.Latency.P99 = s.latP99.Value()
 	}
-	if s.counters.Completions > 0 {
+	if s.counters.JobCompletions > 0 {
+		// DAG mode: timeouts are end-to-end job violations.
+		res.TimeoutRate = float64(s.counters.Timeouts) / float64(s.counters.JobCompletions)
+		res.MeanCriticalPathSec = s.cpMean.Mean()
+		res.MeanCriticalPathShare = s.cpShare.Mean()
+	} else if s.counters.Completions > 0 {
 		res.TimeoutRate = float64(s.counters.Timeouts) / float64(s.counters.Completions)
+	}
+	res.Jobs = s.jobTraces
+	if s.classEnergy != nil {
+		res.ClassEnergyJ = make([]float64, len(s.classEnergy))
+		for i, e := range s.classEnergy {
+			res.ClassEnergyJ[i] = e - s.warmupClassEnergy[i]
+		}
 	}
 	res.TimeoutBudgetMet = res.TimeoutRate <= 0.01
 	if res.Latency.P99 > 0 {

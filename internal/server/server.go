@@ -13,10 +13,19 @@ import (
 
 // Config parameterizes a server simulation.
 type Config struct {
-	// App is the latency-critical application profile.
+	// App is the latency-critical application profile. A profile with a DAG
+	// makes every arrival a stage graph: stages enter the FIFO when their
+	// predecessors complete and the SLA applies end-to-end.
 	App *app.Profile
-	// Ladder is the DVFS frequency ladder (DefaultLadder if zero).
+	// Ladder is the DVFS frequency ladder (DefaultLadder if zero). With a
+	// Topology it remains the default/reporting ladder; each core actuates
+	// on its own class ladder.
 	Ladder cpu.Ladder
+	// Topology, when non-nil, builds heterogeneous cores: per-class
+	// ladders, speed factors, and power-curve scaling. It overrides the
+	// profile's Workers count (the topology defines how many cores exist).
+	// Nil keeps the homogeneous model byte-identical to earlier versions.
+	Topology *cpu.Topology
 	// Power is the socket power model (DefaultModel if zero).
 	Power power.Model
 	// Tick is the server's control-loop granularity — the paper's
@@ -49,6 +58,9 @@ type Config struct {
 	// into the run (see internal/fault). Nil keeps the perfect-world
 	// model and the exact behavior of earlier versions.
 	Faults FaultInjector
+	// RecordJobs retains a JobTrace per completed DAG job (invariant
+	// tests); only meaningful with a DAG profile.
+	RecordJobs bool
 }
 
 func (c *Config) withDefaults() (Config, error) {
@@ -83,6 +95,11 @@ func (c *Config) withDefaults() (Config, error) {
 	if out.LatencyCap < 0 {
 		return out, fmt.Errorf("server: negative latency cap %d", out.LatencyCap)
 	}
+	if out.Topology != nil {
+		if err := out.Topology.Validate(); err != nil {
+			return out, err
+		}
+	}
 	return out, nil
 }
 
@@ -92,6 +109,17 @@ type worker struct {
 	req      *Request
 	lastSync sim.Time  // work progress is integrated up to here
 	compl    sim.Event // tentative completion event
+
+	// class is the core's topology class index (0 when homogeneous); the
+	// scale factors are the class's, all exactly 1 on homogeneous servers
+	// so the hot-path arithmetic is bit-identical to the unscaled model.
+	class     int
+	speed     float64
+	dynScale  float64
+	leakScale float64
+	// parked marks a core disabled by placement: it drains its current
+	// request but takes no new work until re-enabled.
+	parked bool
 
 	// completeFn is the worker's completion callback, bound once at
 	// construction so rescheduling a completion never allocates a closure.
@@ -140,6 +168,23 @@ type Server struct {
 	reqFree    []*Request
 	sampleInto app.IntoSampler // non-nil when the profile's sampler supports reuse
 
+	// DAG mode (profile with a stage graph): jobs are pooled like
+	// requests, stage samplers are pre-asserted for the allocation-free
+	// path, and the end-to-end digests replace per-request ones.
+	dag       *app.DAG
+	stageInto []app.IntoSampler
+	nextJobID uint64
+	jobFree   []*job
+	jobTraces []JobTrace
+	cpMean    stats.Welford // critical-path seconds of completed jobs
+	cpShare   stats.Welford // critical path / end-to-end latency
+
+	// Heterogeneous topology (nil slices when homogeneous): cumulative
+	// per-class core energy, for the per-class observer/reward feed.
+	topo              *cpu.Topology
+	classEnergy       []float64
+	warmupClassEnergy []float64
+
 	series    *Series
 	freqTrace *FreqTrace
 }
@@ -163,18 +208,32 @@ func New(eng *sim.Engine, cfg Config, policy Policy) (*Server, error) {
 		latP99:     stats.NewP2Quantile(0.99),
 	}
 	n := full.App.Workers
+	if full.Topology != nil {
+		n = full.Topology.TotalCores()
+		s.topo = full.Topology
+		s.classEnergy = make([]float64, len(full.Topology.Classes))
+		s.warmupClassEnergy = make([]float64, len(full.Topology.Classes))
+	}
 	s.cores = make([]*cpu.Core, n)
 	s.workers = make([]*worker, n)
 	s.powerLast = make([]sim.Time, n)
 	s.applyPending = make([]bool, n)
 	s.applyFns = make([]func(), n)
 	s.wantFreq = make([]cpu.Freq, n)
-	for i := range s.wantFreq {
-		s.wantFreq[i] = full.Ladder.Max // NewCore's starting point
-	}
 	for i := 0; i < n; i++ {
 		i := i
-		w := &worker{core: cpu.NewCore(i, full.Ladder)}
+		w := &worker{speed: 1, dynScale: 1, leakScale: 1}
+		ladder := full.Ladder
+		if s.topo != nil {
+			w.class = s.topo.ClassOf(i)
+			cl := s.topo.Classes[w.class]
+			ladder = cl.Ladder
+			w.speed = cl.SpeedFactor()
+			w.dynScale = cl.DynFactor()
+			w.leakScale = cl.LeakFactor()
+		}
+		w.core = cpu.NewCore(i, ladder)
+		s.wantFreq[i] = ladder.Max // NewCore's starting point
 		w.completeFn = func() { s.onComplete(w) }
 		s.cores[i] = w.core
 		s.workers[i] = w
@@ -186,6 +245,13 @@ func New(eng *sim.Engine, cfg Config, policy Policy) (*Server, error) {
 	s.arrivalFn = s.onArrival
 	s.injectFn = s.admit
 	s.sampleInto, _ = full.App.Sampler.(app.IntoSampler)
+	if full.App.DAG != nil {
+		s.dag = full.App.DAG
+		s.stageInto = make([]app.IntoSampler, s.dag.NumStages())
+		for i, st := range s.dag.Stages {
+			s.stageInto[i], _ = st.Sampler.(app.IntoSampler)
+		}
+	}
 	if full.SeriesInterval > 0 {
 		s.series = newSeries(full.SeriesInterval)
 	}
@@ -344,8 +410,13 @@ func (s *Server) onArrival() {
 
 // admit materializes one request arriving now — sample its work, notify the
 // policy, and dispatch or enqueue it. It is the shared tail of the internal
-// arrival generator and the external injection path.
+// arrival generator and the external injection path. On a DAG profile the
+// arrival is a whole job: its root stages are admitted instead.
 func (s *Server) admit() {
+	if s.dag != nil {
+		s.admitJob()
+		return
+	}
 	now := s.eng.Now()
 	r := s.getRequest()
 	r.ID = s.nextID
@@ -355,6 +426,8 @@ func (s *Server) admit() {
 	r.CoreID = -1
 	r.ServiceActual = 0
 	r.remaining = 0
+	r.Stage = -1
+	r.job = nil
 	if s.sampleInto != nil {
 		s.sampleInto.SampleInto(s.rngService, &r.Work)
 	} else {
@@ -373,7 +446,7 @@ func (s *Server) admit() {
 func (s *Server) idleWorker() *worker {
 	now := s.eng.Now()
 	for _, w := range s.workers {
-		if w.req != nil {
+		if w.req != nil || w.parked {
 			continue
 		}
 		if s.cfg.Faults != nil && s.cfg.Faults.CoreOffline(now, w.core.ID()) {
@@ -433,12 +506,12 @@ func (s *Server) completionTime(w *worker, now sim.Time) sim.Time {
 	}
 	f0 := w.core.FreqAt(now)
 	if at, f1, ok := w.core.PendingSwitch(); ok && at > now {
-		head := (at - now).Seconds() * s.prof.SpeedAt(f0)
+		head := (at - now).Seconds() * s.prof.SpeedAt(f0) * w.speed
 		if head < rem {
-			return at + sim.Seconds((rem-head)/s.prof.SpeedAt(f1))
+			return at + sim.Seconds((rem-head)/(s.prof.SpeedAt(f1)*w.speed))
 		}
 	}
-	return now + sim.Seconds(rem/s.prof.SpeedAt(f0))
+	return now + sim.Seconds(rem/(s.prof.SpeedAt(f0)*w.speed))
 }
 
 func (s *Server) scheduleCompletion(w *worker) {
@@ -461,7 +534,7 @@ func (s *Server) syncWorker(w *worker, now sim.Time) {
 	var segs [2]cpu.Segment
 	n := w.core.SegmentsInto(w.lastSync, now, &segs)
 	for _, seg := range segs[:n] {
-		w.req.remaining -= (seg.To - seg.From).Seconds() * s.prof.SpeedAt(seg.F)
+		w.req.remaining -= (seg.To - seg.From).Seconds() * s.prof.SpeedAt(seg.F) * w.speed
 	}
 	w.lastSync = now
 }
@@ -486,21 +559,23 @@ func (s *Server) onComplete(w *worker) {
 	w.compl = sim.Event{}
 
 	s.counters.Completions++
-	lat := r.Latency()
-	if lat > s.prof.SLA {
-		s.counters.Timeouts++
-	}
-	if now >= s.cfg.Warmup {
-		// Streaming digests stay O(1) regardless of run length; the full
-		// sample set is retained only when the caller wants it, in chunked
-		// blocks bounded by LatencyCap.
-		s.latMean.Add(lat.Seconds())
-		s.latP99.Add(lat.Seconds())
-		if !s.cfg.DiscardLatencies {
-			if s.cfg.LatencyCap > 0 && s.latencies.n >= s.cfg.LatencyCap {
-				s.counters.LatencyDropped++
-			} else {
-				s.latencies.add(lat.Seconds())
+	if r.job == nil {
+		lat := r.Latency()
+		if lat > s.prof.SLA {
+			s.counters.Timeouts++
+		}
+		if now >= s.cfg.Warmup {
+			// Streaming digests stay O(1) regardless of run length; the full
+			// sample set is retained only when the caller wants it, in chunked
+			// blocks bounded by LatencyCap.
+			s.latMean.Add(lat.Seconds())
+			s.latP99.Add(lat.Seconds())
+			if !s.cfg.DiscardLatencies {
+				if s.cfg.LatencyCap > 0 && s.latencies.n >= s.cfg.LatencyCap {
+					s.counters.LatencyDropped++
+				} else {
+					s.latencies.add(lat.Seconds())
+				}
 			}
 		}
 	}
@@ -510,15 +585,29 @@ func (s *Server) onComplete(w *worker) {
 	s.policy.OnComplete(r, w.core.ID())
 	// The policy contract forbids retaining r beyond the callback, so the
 	// request can be recycled for a future arrival.
+	j, stage, start := r.job, r.Stage, r.Start
+	r.job = nil
 	s.putRequest(r)
+	if j != nil {
+		// Stage-graph bookkeeping: successors whose predecessors have all
+		// finished are admitted now, and may be dispatched to this very
+		// worker (chains keep cache locality).
+		s.completeStage(j, stage, start, now)
+	}
 
 	// A core that failed mid-request drains it but takes no new work; the
-	// queue waits for an online worker (the next arrival or tick).
+	// queue waits for an online worker (the next arrival or tick). A parked
+	// core likewise drains and then idles until placement re-enables it.
+	if w.parked {
+		return
+	}
 	if s.cfg.Faults != nil && s.cfg.Faults.CoreOffline(now, w.core.ID()) {
 		return
 	}
-	if next := s.queue.Pop(); next != nil {
-		s.dispatch(w, next)
+	if w.req == nil {
+		if next := s.queue.Pop(); next != nil {
+			s.dispatch(w, next)
+		}
 	}
 }
 
@@ -532,6 +621,7 @@ func (s *Server) onTick(now sim.Time) {
 	s.accrueUncore(now)
 	if !s.warmupDone && now >= s.cfg.Warmup {
 		s.warmupEnergy = s.meter.Energy()
+		copy(s.warmupClassEnergy, s.classEnergy)
 		s.warmupDone = true
 	}
 	if s.cfg.Faults != nil {
@@ -586,7 +676,13 @@ func (s *Server) accrueCore(w *worker, now sim.Time) {
 	var segs [2]cpu.Segment
 	n := w.core.SegmentsInto(from, now, &segs)
 	for _, seg := range segs[:n] {
-		s.meter.Accrue(seg.From, seg.To, s.cfg.Power.CorePower(seg.F, busy)*factor)
+		// With unit class factors CorePowerScaled is numerically identical
+		// to CorePower, keeping homogeneous runs byte-identical.
+		watts := s.cfg.Power.CorePowerScaled(seg.F, busy, w.dynScale, w.leakScale) * factor
+		s.meter.Accrue(seg.From, seg.To, watts)
+		if s.classEnergy != nil {
+			s.classEnergy[w.class] += watts * (seg.To - seg.From).Seconds()
+		}
 		s.totalCycles += float64(seg.F) * (seg.To - seg.From).Seconds()
 	}
 	s.powerLast[i] = now

@@ -1,0 +1,95 @@
+// Command deeppowerd is the live serving daemon: it runs a power-management
+// policy against wall-clock time on simulated DVFS cores, admits requests
+// over a minimal keep-alive HTTP/1.1 interface, and exposes control and
+// telemetry endpoints.
+//
+//	deeppowerd -addr 127.0.0.1:9090 -method controller:0.4,0.5
+//	deeppowerd -method registry -registry /var/lib/deeppower/ckpt
+//	deeppowerd -pprof 127.0.0.1:6060 ...              # profiling listener
+//
+// Endpoints:
+//
+//	GET  /req                      hot path: admit one request (204)
+//	GET  /healthz                  liveness
+//	GET  /stats[?fresh=1]          telemetry snapshot (JSON)
+//	GET  /policy                   active policy and registry history
+//	POST /policy/reload            re-load the registry's current version
+//	POST /policy/promote?version=N promote and hot-swap to version N
+//	POST /policy/rollback          demote to the previous version
+//
+// The daemon exits on SIGINT/SIGTERM (or after -duration), printing the
+// backend's settled result.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/deeppower/deeppower/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:9090", "listen address")
+		method   = flag.String("method", "maxfreq", "policy: maxfreq | fixed:<ghz> | controller:<base>,<scale> | registry")
+		registry = flag.String("registry", "", "checkpoint registry directory (required for -method registry)")
+		horizon  = flag.Duration("horizon", time.Hour, "maximum serving run length")
+		duration = flag.Duration("duration", 0, "stop after this long (0 = run until signal)")
+		period   = flag.Duration("period", time.Millisecond, "wall-to-virtual bridge sync period")
+		snapshot = flag.Duration("snapshot", 100*time.Millisecond, "telemetry publish period")
+		latCap   = flag.Int("latency-cap", 65536, "retained latency samples before LatencyDropped counts")
+		seed     = flag.Int64("seed", 1, "backend service-time seed")
+		unguard  = flag.Bool("unguarded", false, "disable the safety guard (benchmarking only)")
+		pprofOn  = flag.String("pprof", "", "serve net/http/pprof on this address (off when empty)")
+	)
+	flag.Parse()
+
+	if *pprofOn != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofOn, nil); err != nil {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
+	}
+
+	d, err := serve.NewDaemon(serve.DaemonConfig{
+		Addr:          *addr,
+		Method:        *method,
+		RegistryDir:   *registry,
+		Horizon:       *horizon,
+		BridgePeriod:  *period,
+		SnapshotEvery: *snapshot,
+		LatencyCap:    *latCap,
+		Seed:          *seed,
+		Unguarded:     *unguard,
+	})
+	if err != nil {
+		log.Fatalf("deeppowerd: %v", err)
+	}
+	if err := d.Start(); err != nil {
+		log.Fatalf("deeppowerd: %v", err)
+	}
+	log.Printf("serving on %s (method %s)", d.Addr(), *method)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *duration)
+		defer cancel()
+	}
+	<-ctx.Done()
+
+	res := d.Stop()
+	fmt.Printf("arrivals %d completions %d timeouts %d (rate %.4f) dropped-samples %d energy %.1fJ avg-power %.1fW\n",
+		res.Counters.Arrivals, res.Counters.Completions, res.Counters.Timeouts,
+		res.TimeoutRate, res.Counters.LatencyDropped, res.EnergyJ, res.AvgPowerW)
+}

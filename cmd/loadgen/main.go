@@ -1,0 +1,114 @@
+// Command loadgen drives a deeppowerd daemon over loopback (or any TCP
+// address) with ReqBench-style load: closed-loop (a fixed in-flight window
+// per connection, measuring maximum sustainable throughput) or open-loop
+// (request instants paced by a rate trace — the replayed diurnal day or an
+// external seconds,rps CSV — independent of response progress).
+//
+//	loadgen -addr 127.0.0.1:9090 -duration 10s                 # closed loop
+//	loadgen -mode open -peak-rps 120000 -base-rps 80000 ...    # diurnal replay
+//	loadgen -mode open -trace trace.csv ...                    # CSV replay
+//
+// The summary reports client-side throughput and latency digests plus the
+// daemon's own telemetry (SLA violations, dropped latency samples, guard
+// interventions).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"github.com/deeppower/deeppower/internal/serve"
+	"github.com/deeppower/deeppower/internal/sim"
+	"github.com/deeppower/deeppower/internal/workload"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:9090", "daemon address")
+		mode     = flag.String("mode", "closed", "closed | open")
+		conns    = flag.Int("conns", 4, "persistent connections")
+		pipeline = flag.Int("pipeline", 64, "closed-loop in-flight window per connection")
+		duration = flag.Duration("duration", 10*time.Second, "generation window")
+		traceCSV = flag.String("trace", "", "open-loop rate trace CSV (seconds,rps); empty = synthetic diurnal")
+		baseRPS  = flag.Float64("base-rps", 80000, "diurnal trough rate (open loop)")
+		peakRPS  = flag.Float64("peak-rps", 130000, "diurnal crest rate (open loop)")
+		tracePer = flag.Duration("trace-period", 60*time.Second, "diurnal period (open loop)")
+		seed     = flag.Int64("seed", 1, "diurnal trace seed")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+	)
+	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	cfg := serve.GenConfig{
+		Addr:     *addr,
+		Conns:    *conns,
+		Pipeline: *pipeline,
+		Duration: *duration,
+	}
+	if *mode == "open" {
+		if *traceCSV != "" {
+			f, err := os.Open(*traceCSV)
+			if err != nil {
+				log.Fatalf("loadgen: %v", err)
+			}
+			tr, err := workload.ReadCSV(f)
+			f.Close()
+			if err != nil {
+				log.Fatalf("loadgen: %v", err)
+			}
+			cfg.Trace = tr
+		} else {
+			dc := workload.DefaultDiurnal()
+			dc.Period = sim.Time(*tracePer)
+			dc.Buckets = int(tracePer.Seconds())
+			if dc.Buckets < 10 {
+				dc.Buckets = 10
+			}
+			dc.BaseRPS = *baseRPS
+			dc.PeakRPS = *peakRPS
+			dc.Seed = *seed
+			cfg.Trace = workload.Diurnal(dc)
+		}
+	} else if *mode != "closed" {
+		log.Fatalf("loadgen: unknown mode %q", *mode)
+	}
+
+	sum, err := serve.NewGenerator(cfg).Run()
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	fmt.Print(sum.String())
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			log.Fatalf("memprofile: %v", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatalf("memprofile: %v", err)
+		}
+	}
+	if sum.TransportErrors > 0 {
+		os.Exit(1)
+	}
+}

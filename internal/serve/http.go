@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"bytes"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The wire protocol is deliberately minimal HTTP/1.1: persistent
+// connections, pipelining, no request bodies, no chunked encoding. A
+// general-purpose HTTP stack spends a per-request allocation-and-header
+// budget this path cannot afford on a small-core box; the daemon instead
+// parses straight out of a per-connection read buffer and answers the hot
+// endpoint with a canned response, so the steady-state admission path makes
+// zero allocations and amortizes its syscalls over every request sharing a
+// read (pipelined clients batch dozens per syscall).
+var (
+	respAdmit    = []byte("HTTP/1.1 204 No Content\r\n\r\n")
+	fastPrefix   = []byte("GET /req ")
+	crlf2        = []byte("\r\n\r\n")
+	hdrConnClose = []byte("\r\nConnection: close")
+	hdrBody      = []byte("\r\nContent-Length:")
+)
+
+const (
+	connReadBuf  = 64 << 10
+	connWriteBuf = 128 << 10
+)
+
+// processBuffer parses every complete request framed in in, appends the
+// responses to *out, and reports how many bytes were consumed, how many
+// fast-path requests were admitted, how many responses were produced, and
+// whether the connection must close after flushing. It touches no shared
+// state — admission stamps and counters are the caller's — which is what
+// makes the hot path independently benchmarkable.
+func (d *Daemon) processBuffer(in []byte, out *[]byte, shard int) (consumed, admitted, responded int, closing bool) {
+	off := 0
+	for {
+		i := bytes.Index(in[off:], crlf2)
+		if i < 0 {
+			break
+		}
+		block := in[off : off+i+len(crlf2)]
+		off += i + len(crlf2)
+		if bytes.HasPrefix(block, fastPrefix) {
+			admitted++
+			responded++
+			*out = append(*out, respAdmit...)
+		} else {
+			responded++
+			if d.handleControl(block, out, shard) {
+				closing = true
+			}
+		}
+		if bytes.Contains(block, hdrConnClose) {
+			closing = true
+		}
+		if closing {
+			break
+		}
+	}
+	return off, admitted, responded, closing
+}
+
+// handleControl serves the slow path: health, telemetry, and policy
+// lifecycle endpoints. Allocation here is fine — control traffic is a few
+// requests per second, not a hundred thousand.
+func (d *Daemon) handleControl(block []byte, out *[]byte, shard int) (closing bool) {
+	d.wire.Control.Add(shard, 1)
+	// Request bodies would desync the \r\n\r\n framing; refuse them.
+	if bytes.Contains(block, hdrBody) && !bytes.Contains(block, []byte("\r\nContent-Length: 0\r\n")) {
+		d.wire.BadRequests.Add(shard, 1)
+		appendResponse(out, "411 Length Required", "", nil)
+		return true
+	}
+	eol := bytes.IndexByte(block, '\r')
+	if eol < 0 {
+		d.wire.BadRequests.Add(shard, 1)
+		appendResponse(out, "400 Bad Request", "", nil)
+		return true
+	}
+	line := string(block[:eol])
+	method, rest, ok := strings.Cut(line, " ")
+	target, _, ok2 := strings.Cut(rest, " ")
+	if !ok || !ok2 {
+		d.wire.BadRequests.Add(shard, 1)
+		appendResponse(out, "400 Bad Request", "", nil)
+		return true
+	}
+	path, query, _ := strings.Cut(target, "?")
+
+	status, ctype, body := d.route(method, path, query)
+	if status == "" {
+		d.wire.BadRequests.Add(shard, 1)
+		status = "404 Not Found"
+	}
+	appendResponse(out, status, ctype, body)
+	return false
+}
+
+// appendResponse appends a full HTTP/1.1 response (with Content-Length, so
+// keep-alive framing holds) to *out.
+func appendResponse(out *[]byte, status, ctype string, body []byte) {
+	b := *out
+	b = append(b, "HTTP/1.1 "...)
+	b = append(b, status...)
+	b = append(b, "\r\n"...)
+	if ctype != "" {
+		b = append(b, "Content-Type: "...)
+		b = append(b, ctype...)
+		b = append(b, "\r\n"...)
+	}
+	b = append(b, "Content-Length: "...)
+	b = strconv.AppendInt(b, int64(len(body)), 10)
+	b = append(b, "\r\n\r\n"...)
+	b = append(b, body...)
+	*out = b
+}
+
+// serveConn owns one connection: read, parse, stamp admissions, respond.
+// Buffers live for the connection's lifetime; a pipelined steady state
+// allocates nothing per request.
+func (d *Daemon) serveConn(c net.Conn, shard int) {
+	defer c.Close()
+	in := make([]byte, connReadBuf)
+	out := make([]byte, 0, connWriteBuf)
+	fill := 0
+	epoch := d.bridge.Epoch()
+	for {
+		if fill == len(in) {
+			// No terminator within a full buffer: oversized request.
+			d.wire.BadRequests.Add(shard, 1)
+			return
+		}
+		n, err := c.Read(in[fill:])
+		if n > 0 {
+			d.wire.ReadBytes.Add(shard, uint64(n))
+			fill += n
+			consumed, admitted, responded, closing := d.processBuffer(in[:fill], &out, shard)
+			if admitted > 0 {
+				d.wire.Accepted.Add(shard, uint64(admitted))
+				d.bridge.Admit(int64(time.Since(epoch)), uint32(admitted))
+			}
+			if len(out) > 0 {
+				nw, werr := c.Write(out)
+				d.wire.WrittenBytes.Add(shard, uint64(nw))
+				d.wire.Responded.Add(shard, uint64(responded))
+				out = out[:0]
+				if werr != nil {
+					return
+				}
+			}
+			if consumed > 0 {
+				copy(in, in[consumed:fill])
+				fill -= consumed
+			}
+			if closing {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}

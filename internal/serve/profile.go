@@ -1,0 +1,40 @@
+package serve
+
+import (
+	"github.com/deeppower/deeppower/internal/app"
+	"github.com/deeppower/deeppower/internal/sim"
+)
+
+// DefaultProfile is the daemon's stock application: a key-value-store-like
+// service (masstree-family sampler shape) sized so a single loopback box
+// can drive it past 100k req/s. Mean reference service is ~140 µs, so 32
+// workers give ~220k req/s of headroom at the reference frequency — the
+// policy has real room to scale down under the diurnal trough without
+// breaching the 20 ms SLA.
+//
+// The per-request simulation cost, not fidelity, sizes this profile: at
+// 100k req/s every admitted request costs two engine events plus two
+// O(cores) scans, so the core count stays small while capacity comes from
+// short service times.
+func DefaultProfile() *app.Profile {
+	return &app.Profile{
+		Name:           "serve-kv",
+		SLA:            20 * sim.Millisecond,
+		Workers:        32,
+		RefFreq:        2.1,
+		MemFrac:        0.30,
+		ContentionCoef: 0.15,
+		Sampler: &app.TailedSampler{
+			BaseUS:     40,
+			CoefUS:     80,
+			Sigma1:     0.50,
+			Inter:      0.5,
+			TypeMuls:   []float64{1.2, 0.6}, // PUT, GET
+			TypeProbs:  []float64{0.5, 0.5},
+			NoiseSigma: 0.10,
+			TailProb:   0.005,
+			TailScale:  200,
+			TailAlpha:  2.5,
+		},
+	}
+}

@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"encoding/json"
+	"sync/atomic"
+)
+
+// Telemetry is the daemon's batched telemetry record: one flat struct built
+// per control period (not per request) from the sharded wire counters, the
+// backend's cumulative counters, and the bridge's streaming latency digests.
+// The HTTP /stats endpoint serves the most recent marshaled record; nothing
+// on the request path ever writes telemetry.
+type Telemetry struct {
+	// UptimeSec is wall-clock seconds since the daemon began serving.
+	UptimeSec float64 `json:"uptime_sec"`
+	// Policy is the active policy name (guard wrapper included).
+	Policy string `json:"policy"`
+	// PolicyVersion is the registry version serving, or -1 without one.
+	PolicyVersion int `json:"policy_version"`
+
+	// Wire-level counters (sharded-atomic sums).
+	Accepted     uint64 `json:"accepted"`
+	Responded    uint64 `json:"responded"`
+	ControlReqs  uint64 `json:"control_reqs"`
+	BadRequests  uint64 `json:"bad_requests"`
+	ConnsOpened  uint64 `json:"conns_opened"`
+	ConnsClosed  uint64 `json:"conns_closed"`
+	ReadBytes    uint64 `json:"read_bytes"`
+	WrittenBytes uint64 `json:"written_bytes"`
+
+	// Backend (virtual-core) counters.
+	Arrivals    uint64 `json:"arrivals"`
+	Completions uint64 `json:"completions"`
+	Timeouts    uint64 `json:"timeouts"`
+	// LatencyDropped counts completions whose latency sample was discarded
+	// because the backend's LatencyCap was reached — silent histogram
+	// truncation made visible at serving scale. The streaming digests
+	// below still include every completion.
+	LatencyDropped uint64 `json:"latency_dropped"`
+	// LatencyCap is the configured retention bound LatencyDropped counts
+	// against (0 = unlimited).
+	LatencyCap int `json:"latency_cap"`
+
+	// Live load and latency (from the last control period's snapshot).
+	QueueLen     int     `json:"queue_len"`
+	BusyCores    int     `json:"busy_cores"`
+	InFlight     uint64  `json:"in_flight"`
+	EnergyJ      float64 `json:"energy_j"`
+	TimeoutRate  float64 `json:"timeout_rate"`
+	LatMeanMS    float64 `json:"lat_mean_ms"`
+	LatP99MS     float64 `json:"lat_p99_ms"`
+	SLAMS        float64 `json:"sla_ms"`
+	AvgFreqGHz   float64 `json:"avg_freq_ghz"`
+	BridgeLagMS  float64 `json:"bridge_lag_ms"`
+	SegsRun      uint64  `json:"segments_run"`
+	InjectErrors uint64  `json:"inject_errors"`
+
+	// Guard intervention counters (zero when unguarded).
+	GuardSafeMode  bool   `json:"guard_safe_mode"`
+	GuardFallbacks uint64 `json:"guard_fallbacks"`
+	GuardRollbacks uint64 `json:"guard_rollbacks"`
+	GuardReengages uint64 `json:"guard_reengages"`
+	GuardInvalid   uint64 `json:"guard_invalid_actions"`
+}
+
+// statsCell publishes the latest marshaled Telemetry: the bridge stores a
+// fresh byte slice once per control period, connection goroutines load the
+// pointer and copy the bytes into their write buffer. Readers never see a
+// partially-built record and writers never wait for readers.
+type statsCell struct {
+	buf atomic.Pointer[[]byte]
+}
+
+// Publish marshals t and makes it the current record.
+func (c *statsCell) Publish(t *Telemetry) error {
+	b, err := json.Marshal(t)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	c.buf.Store(&b)
+	return nil
+}
+
+// Bytes returns the current marshaled record (never nil after the first
+// Publish; "{}" before).
+func (c *statsCell) Bytes() []byte {
+	if p := c.buf.Load(); p != nil {
+		return *p
+	}
+	return []byte("{}\n")
+}

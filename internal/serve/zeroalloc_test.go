@@ -1,0 +1,42 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestAdmissionPathZeroAlloc pins the perf contract the serving layer is
+// built around: the steady-state admission path — parse a pipelined read
+// buffer, append canned responses, bump sharded counters, stamp the batch
+// for the bridge — makes zero allocations per iteration. A regression here
+// turns into GC pressure at 100k req/s, so it fails the build, not a
+// benchmark dashboard.
+func TestAdmissionPathZeroAlloc(t *testing.T) {
+	d, err := NewDaemon(DaemonConfig{Method: "maxfreq"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One pipelined read batch, as the wire delivers it.
+	in := bytes.Repeat([]byte("GET /req HTTP/1.1\r\nHost: lg\r\n\r\n"), 32)
+	out := make([]byte, 0, connWriteBuf)
+	nanos := int64(time.Millisecond)
+
+	// Fewer iterations than the stamp ring's initial capacity, so steady
+	// state is reachable without a single ring growth inside the loop.
+	allocs := testing.AllocsPerRun(100, func() {
+		out = out[:0]
+		consumed, admitted, _, closing := d.processBuffer(in, &out, 3)
+		if consumed != len(in) || admitted != 32 || closing {
+			t.Fatalf("processBuffer: consumed=%d admitted=%d closing=%v", consumed, admitted, closing)
+		}
+		d.wire.Accepted.Add(3, uint64(admitted))
+		d.bridge.Admit(nanos, uint32(admitted))
+	})
+	if allocs != 0 {
+		t.Errorf("admission path allocates %.1f per batch, want 0", allocs)
+	}
+	if got := d.wire.Accepted.Load(); got == 0 {
+		t.Error("counters not advanced")
+	}
+}

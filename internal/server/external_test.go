@@ -1,0 +1,175 @@
+package server
+
+import (
+	"testing"
+
+	"github.com/deeppower/deeppower/internal/sim"
+)
+
+// The external-arrival interface (BeginExternal / Inject / RunSegment /
+// End) is the wall-clock bridge's contract: the serving daemon maps real
+// admission instants onto virtual time through exactly these calls, so the
+// edge cases here — out-of-order injection, boundary-time arrivals, early
+// settlement — are the serving mode's correctness conditions.
+
+func TestInjectRejectsPastAndBeyondEnd(t *testing.T) {
+	prof := fixedApp(1*sim.Millisecond, 1, 10*sim.Millisecond)
+	eng, s := mustServer(t, Config{App: prof, Seed: 1}, &maxFreqPolicy{})
+	if err := s.BeginExternal(100 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	s.RunSegment(50 * sim.Millisecond)
+	if err := s.Inject(49 * sim.Millisecond); err == nil {
+		t.Error("inject before now succeeded")
+	}
+	if err := s.Inject(100 * sim.Millisecond); err == nil {
+		t.Error("inject at run end succeeded")
+	}
+	if err := s.Inject(150 * sim.Millisecond); err == nil {
+		t.Error("inject beyond run end succeeded")
+	}
+	// Injecting exactly at now is a legal late-clamped delivery.
+	if err := s.Inject(eng.Now()); err != nil {
+		t.Errorf("inject at now: %v", err)
+	}
+	s.RunSegment(100 * sim.Millisecond)
+	res := s.End()
+	if res.Counters.Arrivals != 1 {
+		t.Errorf("arrivals = %d, want 1", res.Counters.Arrivals)
+	}
+}
+
+func TestInjectWithoutBeginFails(t *testing.T) {
+	prof := fixedApp(1*sim.Millisecond, 1, 10*sim.Millisecond)
+	_, s := mustServer(t, Config{App: prof, Seed: 1}, &maxFreqPolicy{})
+	// Without BeginExternal the run end is zero, so any inject must fail
+	// rather than schedule an event into an unarmed run.
+	if err := s.Inject(0); err == nil {
+		t.Fatal("inject before BeginExternal succeeded")
+	}
+}
+
+func TestInjectOutOfOrderCallsFireInTimeOrder(t *testing.T) {
+	// Inject calls arrive out of order (5ms, 2ms, 8ms, 2ms) but the
+	// requests must be admitted in virtual-time order: with one core and
+	// 1ms of work each, completion order is arrival order.
+	prof := fixedApp(1*sim.Millisecond, 1, 100*sim.Millisecond)
+	order := &arrivalOrder{}
+	_, s := mustServer(t, Config{App: prof, Seed: 1}, order)
+	if err := s.BeginExternal(100 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	for _, at := range []sim.Time{5 * sim.Millisecond, 2 * sim.Millisecond, 8 * sim.Millisecond, 2 * sim.Millisecond} {
+		if err := s.Inject(at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.RunSegment(100 * sim.Millisecond)
+	res := s.End()
+	if res.Counters.Arrivals != 4 || res.Counters.Completions != 4 {
+		t.Fatalf("arrivals/completions = %d/%d, want 4/4", res.Counters.Arrivals, res.Counters.Completions)
+	}
+	want := []sim.Time{2 * sim.Millisecond, 2 * sim.Millisecond, 5 * sim.Millisecond, 8 * sim.Millisecond}
+	for i, at := range order.at {
+		if at != want[i] {
+			t.Errorf("arrival %d at %v, want %v", i, at, want[i])
+		}
+	}
+}
+
+type arrivalOrder struct {
+	BasePolicy
+	at []sim.Time
+}
+
+func (p *arrivalOrder) Name() string { return "arrival-order" }
+func (p *arrivalOrder) OnArrival(r *Request) {
+	p.at = append(p.at, r.Arrive)
+}
+
+func TestInjectAtSegmentBoundaryFiresInsideSegment(t *testing.T) {
+	// An arrival scheduled exactly at a RunSegment boundary must be
+	// admitted by that segment — the bridge's accounting assumes boundary
+	// events are settled when RunSegment returns.
+	prof := fixedApp(1*sim.Millisecond, 1, 100*sim.Millisecond)
+	_, s := mustServer(t, Config{App: prof, Seed: 1}, &maxFreqPolicy{})
+	if err := s.BeginExternal(100 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Inject(10 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	s.RunSegment(10 * sim.Millisecond)
+	if got := s.Counters().Arrivals; got != 1 {
+		t.Errorf("arrivals after boundary segment = %d, want 1", got)
+	}
+	s.RunSegment(100 * sim.Millisecond)
+	s.End()
+}
+
+func TestRunSegmentClampsToEnd(t *testing.T) {
+	prof := fixedApp(1*sim.Millisecond, 1, 10*sim.Millisecond)
+	eng, s := mustServer(t, Config{App: prof, Seed: 1}, &maxFreqPolicy{})
+	if err := s.BeginExternal(50 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if done := s.RunSegment(40 * sim.Millisecond); done {
+		t.Error("segment before end reported done")
+	}
+	if done := s.RunSegment(500 * sim.Millisecond); !done {
+		t.Error("segment past end not reported done")
+	}
+	if now := eng.Now(); now != 50*sim.Millisecond {
+		t.Errorf("engine now = %v, want clamp at 50ms", now)
+	}
+}
+
+func TestEndNowSettlesEarly(t *testing.T) {
+	// A run stopped at 100ms of a 10s horizon must meter 100ms of energy,
+	// not 10s of phantom idle power.
+	prof := fixedApp(1*sim.Millisecond, 2, 10*sim.Millisecond)
+	_, s := mustServer(t, Config{App: prof, Seed: 1}, &maxFreqPolicy{})
+	if err := s.BeginExternal(10 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Inject(1 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	s.RunSegment(100 * sim.Millisecond)
+	res := s.EndNow()
+	if res.Counters.Arrivals != 1 || res.Counters.Completions != 1 {
+		t.Fatalf("arrivals/completions = %d/%d, want 1/1", res.Counters.Arrivals, res.Counters.Completions)
+	}
+	if res.Duration != 100*sim.Millisecond {
+		t.Errorf("duration = %v, want 100ms", res.Duration)
+	}
+	// Two idle cores at default idle power for ~100ms is well under a
+	// joule; the 10s settlement bug would report ~100x more.
+	if res.EnergyJ <= 0 || res.EnergyJ > 5 {
+		t.Errorf("energy = %.3fJ, want small positive", res.EnergyJ)
+	}
+}
+
+func TestEndNowMatchesEndWhenDrivenToDuration(t *testing.T) {
+	prof := fixedApp(1*sim.Millisecond, 1, 10*sim.Millisecond)
+	run := func(early bool) *Result {
+		_, s := mustServer(t, Config{App: prof, Seed: 3}, &maxFreqPolicy{})
+		if err := s.BeginExternal(50 * sim.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		for i := sim.Time(0); i < 40; i++ {
+			if err := s.Inject(i * sim.Millisecond); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.RunSegment(50 * sim.Millisecond)
+		if early {
+			return s.EndNow()
+		}
+		return s.End()
+	}
+	a, b := run(true), run(false)
+	if a.Counters != b.Counters || a.EnergyJ != b.EnergyJ || a.Duration != b.Duration {
+		t.Errorf("EndNow at full duration differs from End: %+v vs %+v", a.Counters, b.Counters)
+	}
+}

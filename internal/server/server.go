@@ -367,6 +367,21 @@ func (s *Server) End() *Result {
 	return s.buildResult(s.runStart, s.endAt-s.runStart)
 }
 
+// EndNow settles accounting at the engine's current time instead of the
+// armed duration — the live-serving stop path, where the wall-clock bridge
+// ends a run long before its horizon. Equivalent to End when the engine has
+// been driven to the full duration (RunUntil leaves Now at its target even
+// past the last event). Requests still queued or in service are dropped
+// from the result's counters-conservation only in the sense that they never
+// complete; Arrivals - Completions reports them.
+func (s *Server) EndNow() *Result {
+	s.cancelTick()
+	now := s.eng.Now()
+	s.accrueAll(now)
+	s.accrueUncore(now)
+	return s.buildResult(s.runStart, now-s.runStart)
+}
+
 func (s *Server) scheduleNextArrival() {
 	at := s.arrivals.Next()
 	if at >= s.endAt {
